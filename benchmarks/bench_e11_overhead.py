@@ -1,0 +1,173 @@
+"""E11 — Communication and processing overhead of every scheme (derived).
+
+Measures, on identical executions: per-message piggyback elements, control
+message counts, per-event processing time, and per-event storage.  This is
+the systems-facing comparison the paper's size theorems imply: the inline
+scheme piggybacks |VC|+2 elements and pays small control messages; the
+vector clock piggybacks n; Lamport piggybacks 1 but answers are lossy;
+the encoded clock piggybacks a single growing big integer.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.baselines import ClusterClock, EncodedClock, PlausibleClock
+from repro.clocks import (
+    CoverInlineClock,
+    LamportClock,
+    StarInlineClock,
+    VectorClock,
+)
+from repro.sim import ConstantDelay, Simulation, UniformWorkload
+from repro.topology import generators
+
+from _common import print_header
+
+
+def overhead_rows(n=12, events=25, seed=0):
+    g = generators.star(n)
+    clocks = {
+        "lamport": LamportClock(n),
+        "vector": VectorClock(n),
+        "inline-star": StarInlineClock(n),
+        "inline-cover": CoverInlineClock(g, (0,)),
+        "plausible(3)": PlausibleClock(n, 3),
+        "encoded": EncodedClock(n),
+        "cluster": ClusterClock(n),
+    }
+    sim = Simulation(
+        g, seed=seed, clocks=clocks, delay_model=ConstantDelay(1.0)
+    )
+    res = sim.run(UniformWorkload(events_per_process=events, p_local=0.3))
+    msgs = max(1, res.app_messages)
+    rows = []
+    for name in clocks:
+        stats = res.stats[name]
+        asg = res.assignments[name]
+        rows.append(
+            {
+                "scheme": name,
+                "payload el/msg": round(stats.app_payload_elements / msgs, 2),
+                "control msgs": stats.control_messages,
+                "control el": stats.control_elements,
+                "max ts elements": asg.max_elements(),
+                "mean ts elements": round(asg.mean_elements(), 2),
+            }
+        )
+    return res, rows
+
+
+def test_e11_overhead_table(benchmark):
+    res, rows = benchmark.pedantic(overhead_rows, rounds=1, iterations=1)
+    print_header("E11: per-scheme communication/storage overhead (star n=12)")
+    print(format_table(list(rows[0].keys()),
+                       [list(r.values()) for r in rows]))
+    by = {r["scheme"]: r for r in rows}
+    # piggyback ordering: lamport(1) < inline(3) < vector(n)
+    assert by["lamport"]["payload el/msg"] == 1
+    assert by["inline-star"]["payload el/msg"] == 2
+    assert by["inline-cover"]["payload el/msg"] == 3  # (src, mctr, mpre[1])
+    assert by["vector"]["payload el/msg"] == 12
+    # only the inline schemes pay control traffic
+    for name in ("lamport", "vector", "plausible(3)", "encoded", "cluster"):
+        assert by[name]["control msgs"] == 0
+    assert by["inline-star"]["control msgs"] > 0
+    # storage: inline max is 4, vector is n
+    assert by["inline-star"]["max ts elements"] == 4
+    assert by["vector"]["max ts elements"] == 12
+
+
+def test_e11_processing_time(benchmark):
+    """Per-event processing micro-benchmark: replaying a fixed execution."""
+    from repro.core.random_executions import random_execution
+    from repro.clocks import replay
+
+    g = generators.star(16)
+    ex = random_execution(
+        g, random.Random(1), steps=600, deliver_all=True
+    )
+
+    def replay_all():
+        return replay(
+            ex,
+            [
+                LamportClock(16),
+                VectorClock(16),
+                StarInlineClock(16),
+                CoverInlineClock(g, (0,)),
+            ],
+        )
+
+    assignments = benchmark(replay_all)
+    assert all(len(a) == ex.n_events for a in assignments)
+
+
+def test_e11_comparison_time(benchmark):
+    """Timestamp-comparison micro-benchmark (the query-side cost)."""
+    from repro.core.random_executions import random_execution
+    from repro.clocks import replay_one
+
+    g = generators.star(16)
+    ex = random_execution(g, random.Random(2), steps=300, deliver_all=True)
+    asg = replay_one(ex, StarInlineClock(16))
+    ids = [ev.eid for ev in ex.all_events()]
+
+    def compare_all():
+        count = 0
+        for e in ids:
+            for f in ids:
+                if e != f and asg.precedes(e, f):
+                    count += 1
+        return count
+
+    ordered = benchmark(compare_all)
+    assert ordered > 0
+
+
+def test_e11_comparison_cost_scaling(benchmark):
+    """Query-side scaling: star inline comparisons touch O(1) scalars while
+    vector comparisons scan all n entries — the gap grows with n."""
+    import time
+
+    from repro.core.random_executions import random_execution
+    from repro.clocks import replay
+
+    def measure():
+        rows = []
+        for n in (16, 64, 128):
+            g = generators.star(n)
+            ex = random_execution(
+                g, random.Random(3), steps=400, deliver_all=True
+            )
+            inline, vector = replay(ex, [StarInlineClock(n), VectorClock(n)])
+            ids = [ev.eid for ev in ex.all_events()][:150]
+
+            def time_asg(asg):
+                t0 = time.perf_counter()
+                acc = 0
+                for e in ids:
+                    for f in ids:
+                        if e != f and asg.precedes(e, f):
+                            acc += 1
+                return time.perf_counter() - t0
+
+            t_inline = time_asg(inline)
+            t_vector = time_asg(vector)
+            rows.append((n, t_inline * 1e3, t_vector * 1e3,
+                         t_vector / max(t_inline, 1e-12)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_header("E11b: comparison cost scaling (150x150 pairwise queries)")
+    print(
+        format_table(
+            ["n", "inline ms", "vector ms", "vector/inline"],
+            [(n, round(a, 2), round(b, 2), round(r, 2))
+             for n, a, b, r in rows],
+        )
+    )
+    # the ratio must grow with n (vector compares are O(n), inline O(1))
+    ratios = [r for _n, _a, _b, r in rows]
+    assert ratios[-1] > ratios[0]

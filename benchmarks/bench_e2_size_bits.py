@@ -1,0 +1,140 @@
+"""E2 — Bit-level sizes (Theorem 4.3) and the |VC| < n/2 − 1 crossover.
+
+Claim: an inline timestamp needs at most
+``(2|VC|+1)·log₂(K+1) + log₂ n`` bits vs ``n·log₂(K+1)`` for the vector
+clock, so the inline scheme wins whenever the cover is small relative to
+``n``.  The analytic model is swept over (n, K); measured executions
+confirm the analytic bound per event.  Includes the cover-selection
+ablation (exact vs greedy vs matching) from DESIGN.md.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.reports import format_table
+from repro.analysis.size_model import (
+    compare_sizes,
+    crossover_cover_size,
+    inline_bits,
+    vector_bits,
+)
+from repro.clocks import CoverInlineClock, replay_one
+from repro.topology import generators
+from repro.topology.vertex_cover import (
+    exact_minimum_cover,
+    greedy_degree_cover,
+    matching_cover,
+)
+
+from _common import print_header, sample_execution
+
+
+def analytic_rows():
+    rows = []
+    for n in (8, 16, 32, 64, 128):
+        for k in (100, 10_000):
+            for vc in (1, 2, n // 4, n // 2):
+                rows.append(compare_sizes(n, k, vc))
+    return rows
+
+
+def test_e2_analytic_sweep(benchmark):
+    rows = benchmark.pedantic(analytic_rows, rounds=1, iterations=1)
+    print_header("E2: analytic bit sizes (Theorem 4.3)")
+    print(
+        format_table(
+            ["n", "K", "|VC|", "inline_bits", "vector_bits", "inline_wins"],
+            [
+                [
+                    r.n_processes,
+                    r.max_events,
+                    r.cover_size,
+                    r.inline_bits,
+                    r.vector_bits,
+                    r.inline_smaller,
+                ]
+                for r in rows
+            ],
+        )
+    )
+    for r in rows:
+        # the element-count crossover implies the bit-count one for large n
+        if r.cover_size < r.n_processes / 2 - 1 and r.n_processes >= 8:
+            assert r.inline_smaller, r
+        if r.cover_size >= r.n_processes / 2:
+            assert not r.inline_smaller, r
+
+
+def test_e2_crossover_table(benchmark):
+    def build():
+        return {
+            n: crossover_cover_size(n, max_events=1000)
+            for n in (8, 16, 32, 64, 128, 256)
+        }
+
+    crossovers = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_header("E2b: largest winning cover size per n (K=1000)")
+    for n, c in sorted(crossovers.items()):
+        paper = n / 2 - 1
+        print(f"  n={n:>4}  measured_crossover={c:>4}  paper n/2-1={paper:.1f}")
+        # shape: crossover tracks n/2 - 1 within the id-bits correction
+        assert abs(c - paper) <= 2
+
+
+def test_e2_measured_bits_respect_bound(benchmark):
+    """Per-event measured bit cost never exceeds the Theorem 4.3 bound."""
+
+    def measure():
+        out = []
+        for n in (8, 16):
+            graph = generators.star(n)
+            ex = sample_execution(graph, seed=4, steps=6 * n)
+            clock = CoverInlineClock(graph, (0,))
+            asg = replay_one(ex, clock)
+            k = ex.max_events_per_process()
+            bound = inline_bits(n, k, 1)
+            worst = max(
+                clock.timestamp_bits(ts, k) for _eid, ts in asg.items()
+            )
+            out.append((n, k, worst, bound, vector_bits(n, k)))
+        return out
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_header("E2c: measured bits vs Theorem 4.3 bound (star)")
+    print(
+        format_table(
+            ["n", "K", "measured_max_bits", "thm4.3_bound", "vector_bits"],
+            rows,
+        )
+    )
+    for n, k, worst, bound, vec in rows:
+        assert worst <= bound
+        if n >= 8:
+            assert bound < vec
+
+
+def test_e2_cover_selection_ablation(benchmark):
+    """Ablation: smaller covers (exact) give smaller timestamps."""
+
+    def measure():
+        rng = random.Random(7)
+        graph = generators.erdos_renyi(20, 0.15, rng)
+        rows = []
+        for name, fn in [
+            ("exact", exact_minimum_cover),
+            ("greedy", greedy_degree_cover),
+            ("matching-2approx", matching_cover),
+        ]:
+            cover = fn(graph)
+            rows.append((name, len(cover), 2 * len(cover) + 2))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_header("E2d: cover-selection ablation (random n=20 graph)")
+    print(format_table(["method", "|VC|", "timestamp elements"], rows))
+    sizes = {name: size for name, size, _el in rows}
+    assert sizes["exact"] <= sizes["greedy"]
+    assert sizes["exact"] <= sizes["matching-2approx"]
+    assert sizes["matching-2approx"] <= 2 * sizes["exact"]

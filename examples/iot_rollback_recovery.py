@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Scenario: rollback recovery in an IoT hub deployment.
+
+An IoT gateway (the hub of a star) coordinates many sensor nodes.  Every
+process checkpoints periodically; when the deployment fails we must roll
+back to a consistent *recovery line*.  The paper's Section-1 pitch: with
+inline timestamps we simply ignore events whose timestamps are not yet
+finalized, losing only a little progress relative to full online vector
+clocks — while shipping 4-element timestamps instead of n-element ones on
+every radio message.
+
+Run:  python examples/iot_rollback_recovery.py
+"""
+
+from repro.analysis.reports import format_table
+from repro.applications.recovery import recovery_line_lag
+from repro.clocks import StarInlineClock, VectorClock
+from repro.sim import ConstantDelay, Simulation, UniformWorkload
+from repro.topology import generators
+
+
+def main() -> None:
+    n = 10  # 1 gateway + 9 sensors
+    graph = generators.star(n)
+    sim = Simulation(
+        graph,
+        seed=11,
+        clocks={
+            "inline": StarInlineClock(n, center=0),
+            "vector": VectorClock(n),
+        },
+        delay_model=ConstantDelay(1.0),
+    )
+    result = sim.run(UniformWorkload(events_per_process=30, p_local=0.25))
+    ex = result.execution
+    print(f"IoT deployment: {n} nodes, {ex.n_events} events, "
+          f"checkpoint every 5 events")
+
+    rows = []
+    for frac in (0.2, 0.4, 0.6, 0.8, 1.0):
+        t_fail = result.duration * frac
+        cmp = recovery_line_lag(result, "inline", t_fail, every_k=5)
+        rows.append(
+            [
+                f"{frac:.0%} of run",
+                cmp.online_events,
+                cmp.inline_events,
+                cmp.lag_events,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["failure time", "online recovery line (events saved)",
+             "inline recovery line", "extra events lost"],
+            rows,
+            title="recovery lines after a crash at different times",
+        )
+    )
+    print(
+        "\nthe inline line trails the online line only by events still "
+        "awaiting their round trip — the paper's 'negligible' gap — while "
+        f"every message carried 2 piggybacked integers instead of {n}."
+    )
+
+
+if __name__ == "__main__":
+    main()

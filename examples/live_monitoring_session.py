@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Scenario: a monitoring dashboard over inline timestamps.
+
+An operator's view of the paper's Section 6: as the system runs, the
+monitor's *analysis window* — the consistent cut of finalized events —
+trails the execution frontier and catches up as round trips complete.
+The :class:`~repro.applications.session.AnalysisSession` facade answers
+time-travel queries against one recorded run:
+
+- how big was the knowledge gap over time?
+- what recovery line could we have computed at each instant?
+- when did a watched predicate become detectable?
+
+Run:  python examples/live_monitoring_session.py
+"""
+
+from repro.analysis.reports import format_table
+from repro.applications.session import AnalysisSession
+from repro.clocks import StarInlineClock, VectorClock
+from repro.core.cuts import cut_size
+from repro.sim import ConstantDelay, Simulation, UniformWorkload
+from repro.topology import generators
+
+
+def main() -> None:
+    n = 6
+    graph = generators.star(n)
+    sim = Simulation(
+        graph,
+        seed=17,
+        clocks={"inline": StarInlineClock(n), "vector": VectorClock(n)},
+        delay_model=ConstantDelay(1.0),
+    )
+    result = sim.run(UniformWorkload(events_per_process=20, p_local=0.3))
+    session = AnalysisSession(result, "inline")
+    print(f"run: {result.execution.n_events} events over "
+          f"{result.duration:.1f} time units\n")
+
+    # watched predicate: every radial process past its 5th event
+    ex = result.execution
+    marks = {
+        p: list(range(5, len(ex.events_at(p)) + 1))
+        for p in range(1, n)
+        if len(ex.events_at(p)) >= 5
+    }
+
+    rows = []
+    for snap in session.knowledge_curve(9):
+        detected = session.detect_at(snap.time, marks).found if marks else False
+        line = session.recovery_line_at(snap.time, every_k=4)
+        rows.append(
+            [
+                round(snap.time, 1),
+                snap.occurred_events,
+                snap.finalized_events,
+                snap.knowledge_gap,
+                cut_size(line),
+                "yes" if detected else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["time", "occurred", "finalized", "gap",
+             "recovery line (events)", "predicate detected"],
+            rows,
+            title="the analysis window trailing the execution frontier",
+        )
+    )
+    print(
+        "\nthe gap column is the price of 4-element timestamps; it stays "
+        "small and closes as control messages complete round trips."
+    )
+
+
+if __name__ == "__main__":
+    main()

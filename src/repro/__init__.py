@@ -1,0 +1,71 @@
+"""repro — reproduction of *Effectiveness of Delaying Timestamp Computation*.
+
+Kulkarni & Vaidya, PODC 2017.  The package provides:
+
+- :mod:`repro.core` — events, executions, the happened-before oracle, and
+  consistent cuts;
+- :mod:`repro.clocks` — the paper's inline timestamp algorithms (star and
+  vertex-cover) plus online baselines (Lamport, vector clocks);
+- :mod:`repro.baselines` — related-work schemes (plausible clocks,
+  prime-encoded clocks, cluster timestamps);
+- :mod:`repro.topology` — communication graphs, vertex covers, connectivity;
+- :mod:`repro.sim` — a deterministic discrete-event simulator with FIFO
+  control channels and pluggable workloads;
+- :mod:`repro.lowerbounds` — executable adversaries for the paper's lower
+  bounds (Lemmas 2.1–2.4) and the order-dimension argument of Theorem 4.4;
+- :mod:`repro.applications` — predicate detection, rollback recovery,
+  replay, concurrent-update detection, and the Figure-4 sequencer KV store;
+- :mod:`repro.analysis` — analytic size models and latency statistics.
+
+Quickstart::
+
+    from repro.topology import generators
+    from repro.clocks import CoverInlineClock, VectorClock, replay
+    from repro.sim import Simulation, UniformWorkload
+
+    graph = generators.star(8)
+    sim = Simulation(graph, seed=1)
+    result = sim.run(UniformWorkload(events_per_process=20))
+    inline, vector = replay(
+        result.execution,
+        [CoverInlineClock(graph), VectorClock(graph.n_vertices)],
+    )
+    assert inline.validate().characterizes
+"""
+
+from repro.core import (
+    Event,
+    EventId,
+    EventKind,
+    Execution,
+    ExecutionBuilder,
+    HappenedBeforeOracle,
+)
+from repro.clocks import (
+    CoverInlineClock,
+    LamportClock,
+    StarInlineClock,
+    VectorClock,
+    replay,
+    replay_one,
+)
+from repro.topology import CommunicationGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Event",
+    "EventId",
+    "EventKind",
+    "Execution",
+    "ExecutionBuilder",
+    "HappenedBeforeOracle",
+    "CoverInlineClock",
+    "LamportClock",
+    "StarInlineClock",
+    "VectorClock",
+    "replay",
+    "replay_one",
+    "CommunicationGraph",
+    "__version__",
+]

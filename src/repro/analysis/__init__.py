@@ -1,0 +1,58 @@
+"""Analytic size models, latency statistics, and report formatting."""
+
+from repro.analysis.latency import (
+    LatencySummary,
+    expected_star_finalization_latency,
+    finalized_fraction_curve,
+    mean_inflight_events,
+    percentile,
+    summarize_latencies,
+)
+from repro.analysis.overhead_model import (
+    expected_control_elements,
+    expected_control_messages,
+    expected_piggyback_elements,
+    overhead_ratio_vs_vector,
+)
+from repro.analysis.reports import format_series, format_table
+from repro.analysis.size_model import (
+    SizeComparison,
+    compare_sizes,
+    counter_bits,
+    crossover_cover_size,
+    id_bits,
+    inline_bits,
+    inline_elements,
+    inline_wins_bits,
+    inline_wins_elements,
+    size_sweep,
+    vector_bits,
+    vector_elements,
+)
+
+__all__ = [
+    "LatencySummary",
+    "expected_star_finalization_latency",
+    "finalized_fraction_curve",
+    "mean_inflight_events",
+    "percentile",
+    "summarize_latencies",
+    "expected_control_elements",
+    "expected_control_messages",
+    "expected_piggyback_elements",
+    "overhead_ratio_vs_vector",
+    "format_series",
+    "format_table",
+    "SizeComparison",
+    "compare_sizes",
+    "counter_bits",
+    "crossover_cover_size",
+    "id_bits",
+    "inline_bits",
+    "inline_elements",
+    "inline_wins_bits",
+    "inline_wins_elements",
+    "size_sweep",
+    "vector_bits",
+    "vector_elements",
+]

@@ -1,0 +1,144 @@
+"""Possibly/Definitely detection for general global predicates.
+
+Weak conjunctive predicates (:mod:`repro.applications.predicate`) cover the
+common case; for *arbitrary* global predicates the classic Cooper–Marzullo
+construction explores the lattice of consistent cuts:
+
+- ``possibly(Φ)`` — some consistent cut satisfies Φ (the computation could
+  have passed through a Φ-state);
+- ``definitely(Φ)`` — every path from the empty cut to the full cut passes
+  through a Φ-cut (the computation must have passed through one).
+
+Both are decided exactly by a level-order walk over consistent cuts, using
+the ground-truth vector clocks for O(n) successor checks.  The lattice can
+be exponential in general — that is inherent to the problem — so these
+detectors are meant for the modest executions a debugger examines.
+
+Inline-timestamp integration (paper Section 6): pass ``within`` to restrict
+the walk to the sublattice of cuts inside the currently *finalized*
+consistent cut.  A ``possibly`` witness found there is final (the sublattice
+only grows); a negative answer may flip as more timestamps finalize —
+exactly the paper's "the cut in which predicates can be detected will
+grow" behaviour, which :func:`possibly_with_inline` exposes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Set, Tuple
+
+from repro.clocks.replay import TimestampAssignment
+from repro.core.cuts import Cut, empty_cut, full_cut, max_consistent_cut_within
+from repro.core.events import EventId
+from repro.core.happened_before import HappenedBeforeOracle
+
+#: a global predicate over consistent cuts (entry p = events taken at p)
+GlobalPredicate = Callable[[Cut], bool]
+
+
+def _successors(
+    oracle: HappenedBeforeOracle, cut: Cut, limit: Cut
+) -> Iterator[Cut]:
+    """Consistent cuts reachable by admitting one more event, within *limit*."""
+    ex = oracle.execution
+    for p in range(ex.n_processes):
+        if cut[p] >= limit[p]:
+            continue
+        nxt = ex.events_at(p)[cut[p]]
+        vc = oracle.vector_clock(nxt.eid)
+        if all(vc[q] <= cut[q] for q in range(ex.n_processes) if q != p):
+            yield cut[:p] + (cut[p] + 1,) + cut[p + 1 :]
+
+
+def enumerate_consistent_cuts(
+    oracle: HappenedBeforeOracle,
+    within: Optional[Cut] = None,
+) -> Iterator[Cut]:
+    """All consistent cuts (within *limit*), in level order from empty."""
+    limit = within if within is not None else full_cut(oracle)
+    level: Set[Cut] = {empty_cut(oracle.execution.n_processes)}
+    while level:
+        nxt: Set[Cut] = set()
+        for cut in sorted(level):
+            yield cut
+            nxt.update(_successors(oracle, cut, limit))
+        level = nxt
+
+
+def possibly(
+    oracle: HappenedBeforeOracle,
+    predicate: GlobalPredicate,
+    within: Optional[Cut] = None,
+) -> Optional[Cut]:
+    """A consistent cut satisfying *predicate*, or ``None``.
+
+    Walks the lattice level by level and stops at the first witness, so the
+    returned cut has minimum total event count among witnesses.
+    """
+    for cut in enumerate_consistent_cuts(oracle, within):
+        if predicate(cut):
+            return cut
+    return None
+
+
+def definitely(
+    oracle: HappenedBeforeOracle,
+    predicate: GlobalPredicate,
+    within: Optional[Cut] = None,
+) -> bool:
+    """Whether every path from the empty to the limit cut hits a Φ-cut.
+
+    Standard construction: restrict the lattice to ¬Φ cuts; Φ holds
+    *definitely* iff the limit cut is unreachable through ¬Φ cuts alone
+    (including the endpoints — a Φ-endpoint trivially intercepts paths).
+    """
+    limit = within if within is not None else full_cut(oracle)
+    start = empty_cut(oracle.execution.n_processes)
+    if predicate(start) or predicate(limit):
+        return True
+    if start == limit:
+        return False  # single-cut lattice that fails the predicate
+    frontier: Set[Cut] = {start}
+    seen: Set[Cut] = {start}
+    while frontier:
+        nxt: Set[Cut] = set()
+        for cut in frontier:
+            for succ in _successors(oracle, cut, limit):
+                if succ in seen or predicate(succ):
+                    continue
+                if succ == limit:
+                    return False
+                seen.add(succ)
+                nxt.add(succ)
+        frontier = nxt
+    # every ¬Φ path dead-ends before the limit cut — note a dead end is
+    # impossible in a full lattice walk unless a Φ-cut blocked it
+    return True
+
+
+def count_consistent_cuts(
+    oracle: HappenedBeforeOracle, within: Optional[Cut] = None
+) -> int:
+    """Size of the (restricted) consistent-cut lattice."""
+    return sum(1 for _ in enumerate_consistent_cuts(oracle, within))
+
+
+def possibly_with_inline(
+    assignment: TimestampAssignment,
+    predicate: GlobalPredicate,
+    finalized: Optional[Set[EventId]] = None,
+    oracle: Optional[HappenedBeforeOracle] = None,
+) -> Tuple[Optional[Cut], Cut]:
+    """``possibly`` over the finalized sublattice (Section-6 recipe).
+
+    Returns ``(witness_or_None, finalized_cut)``.  A witness is definitive;
+    ``None`` only means "not detectable *yet*" — rerun after more events
+    finalize.  The consistency machinery uses the ground-truth oracle (the
+    checker process in a real deployment would use the finalized inline
+    timestamps themselves, which agree with it by Theorem 4.1).
+    """
+    if oracle is None:
+        oracle = HappenedBeforeOracle(assignment.execution)
+    if finalized is None:
+        finalized = set(assignment.finalized_during_run)
+    limit = max_consistent_cut_within(oracle, lambda e: e in finalized)
+    return possibly(oracle, predicate, within=limit), limit

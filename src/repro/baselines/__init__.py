@@ -1,0 +1,23 @@
+"""Related-work baselines discussed in the paper's Section 5."""
+
+from repro.baselines.cluster import ClusterClock, ClusterTimestamp
+from repro.baselines.encoded import EncodedClock, EncodedTimestamp, first_primes
+from repro.baselines.hlc import (
+    HLCTimestamp,
+    HybridLogicalClock,
+    counter_time_source,
+)
+from repro.baselines.plausible import PlausibleClock, PlausibleTimestamp
+
+__all__ = [
+    "ClusterClock",
+    "ClusterTimestamp",
+    "HLCTimestamp",
+    "HybridLogicalClock",
+    "counter_time_source",
+    "EncodedClock",
+    "EncodedTimestamp",
+    "first_primes",
+    "PlausibleClock",
+    "PlausibleTimestamp",
+]

@@ -1,0 +1,143 @@
+"""Hybrid Logical Clocks (Kulkarni, Demirbas, Madappa, Avva, Leone 2014).
+
+Reference [12] of the paper — its own prior work on *exploiting physical
+time*, cited in §5's "Exploiting Physical Time" discussion as the contrast
+to the purely asynchronous inline approach.  An HLC timestamp is a pair
+``(l, c)``:
+
+- ``l`` tracks the maximum physical clock value heard of (so ``l`` stays
+  within the clock-synchronization bound of real time);
+- ``c`` is a bounded logical counter breaking ties among events sharing an
+  ``l``.
+
+Update rules (the original paper's Algorithm 2):
+
+- local/send at ``j``:  ``l' = max(l, pt_j)``; ``c' = c+1`` if ``l' == l``
+  else ``0``;
+- receive of ``(l_m, c_m)``:  ``l' = max(l, l_m, pt_j)``; then
+  ``c' = max(c, c_m)+1`` if ``l' == l == l_m``, ``c+1`` if ``l' == l``,
+  ``c_m+1`` if ``l' == l_m``, else ``0``.
+
+Guarantees: ``e -> f  ⇒  (l_e, c_e) < (l_f, c_f)`` lexicographically
+(consistent with causality, *not* characterizing — like Lamport clocks but
+pinned to physical time: ``l_e >= pt(e)`` and ``l_e`` never runs ahead of
+the maximum physical clock in ``e``'s causal past).
+
+Physical time is injected via a ``time_source(proc) -> float`` callable, so
+the same implementation runs under the simulator (virtual time plus
+per-process skew) and in the replayer (deterministic synthetic time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.clocks.base import ClockAlgorithm, ControlMessage, Timestamp
+from repro.core.events import Event, EventId
+
+#: maps a process id to its current physical-clock reading
+TimeSource = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class HLCTimestamp(Timestamp):
+    """``(l, c, proc)`` — compared lexicographically (total order)."""
+
+    l: float
+    c: int
+    proc: int
+
+    def precedes(self, other: "Timestamp") -> bool:
+        if not isinstance(other, HLCTimestamp):
+            raise TypeError("cannot compare across schemes")
+        return (self.l, self.c, self.proc) < (other.l, other.c, other.proc)
+
+    def elements(self) -> Tuple[float, ...]:
+        return (self.l, self.c)
+
+
+def counter_time_source(step: float = 1.0) -> TimeSource:
+    """A deterministic synthetic time source for replay-based tests.
+
+    Every call advances a single global counter by *step* — perfectly
+    synchronized clocks whose reading strictly increases between events.
+    """
+    state = {"t": 0.0}
+
+    def source(_proc: int) -> float:
+        state["t"] += step
+        return state["t"]
+
+    return source
+
+
+class HybridLogicalClock(ClockAlgorithm):
+    """Online HLC baseline: 2-element timestamps, consistent, lossy."""
+
+    name = "hlc"
+    characterizes_causality = False
+
+    def __init__(
+        self,
+        n_processes: int,
+        time_source: Optional[TimeSource] = None,
+    ) -> None:
+        super().__init__(n_processes)
+        self._time = time_source or counter_time_source()
+        self._l = [0.0] * n_processes
+        self._c = [0] * n_processes
+        self._ts: Dict[EventId, HLCTimestamp] = {}
+        self._max_pt_seen = [0.0] * n_processes
+
+    # ------------------------------------------------------------------
+    def _local_step(self, ev: Event) -> None:
+        p = ev.proc
+        pt = self._time(p)
+        self._max_pt_seen[p] = max(self._max_pt_seen[p], pt)
+        new_l = max(self._l[p], pt)
+        self._c[p] = self._c[p] + 1 if new_l == self._l[p] else 0
+        self._l[p] = new_l
+        self._ts[ev.eid] = HLCTimestamp(new_l, self._c[p], p)
+        self._mark_final(ev.eid)
+
+    def on_local(self, ev: Event) -> None:
+        self._local_step(ev)
+
+    def on_send(self, ev: Event) -> Any:
+        self._local_step(ev)
+        return (self._l[ev.proc], self._c[ev.proc])
+
+    def on_receive(self, ev: Event, payload: Any) -> List[ControlMessage]:
+        p = ev.proc
+        l_m, c_m = payload
+        pt = self._time(p)
+        self._max_pt_seen[p] = max(self._max_pt_seen[p], pt)
+        old_l = self._l[p]
+        new_l = max(old_l, l_m, pt)
+        if new_l == old_l and new_l == l_m:
+            c = max(self._c[p], c_m) + 1
+        elif new_l == old_l:
+            c = self._c[p] + 1
+        elif new_l == l_m:
+            c = c_m + 1
+        else:
+            c = 0
+        self._l[p] = new_l
+        self._c[p] = c
+        self._ts[ev.eid] = HLCTimestamp(new_l, c, p)
+        self._mark_final(ev.eid)
+        return []
+
+    # ------------------------------------------------------------------
+    def timestamp(self, eid: EventId) -> Optional[HLCTimestamp]:
+        return self._ts.get(eid)
+
+    def is_final(self, eid: EventId) -> bool:
+        return eid in self._ts
+
+    def drift_from_physical(self, proc: int) -> float:
+        """``l - max physical reading seen`` — bounded by the clock-skew
+        spread across the system (the HLC paper's Theorem 3), unlike
+        Lamport clocks, whose value can run arbitrarily far ahead."""
+        return self._l[proc] - self._max_pt_seen[proc]

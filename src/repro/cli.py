@@ -1,0 +1,416 @@
+"""Command-line interface.
+
+``python -m repro <subcommand>`` exposes the library's main entry points
+without writing code:
+
+- ``simulate``     — run a seeded workload on a chosen topology with one or
+  more clock algorithms attached; prints validation, sizes, finalization
+  statistics; optionally archives the execution trace.
+- ``validate``     — load a trace (see :mod:`repro.core.trace`) and check a
+  clock algorithm against ground truth on it.
+- ``sizes``        — the analytic Theorem 4.2/4.3 size model and crossover.
+- ``lower-bound``  — run one of the paper's lower-bound adversaries
+  (lemmas 2.1/2.2/2.3/2.4) or the Theorem 4.4 dimension argument.
+- ``sync``         — a timed synchronous run with component timestamps.
+- ``experiments``  — quick headline reproduction of the core claims.
+
+All output is plain text; exit status 0 means every check passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Dict, Optional, Sequence
+
+from repro.analysis import (
+    compare_sizes,
+    crossover_cover_size,
+    summarize_latencies,
+)
+from repro.analysis.reports import format_table
+from repro.baselines import ClusterClock, EncodedClock, PlausibleClock
+from repro.clocks import (
+    ClockAlgorithm,
+    CoverInlineClock,
+    LamportClock,
+    SKVectorClock,
+    StarInlineClock,
+    VectorClock,
+)
+from repro.core import HappenedBeforeOracle
+from repro.core.trace import load_execution, save_execution
+from repro.clocks.replay import replay
+from repro.sim import ControlTransport, Simulation, UniformWorkload
+from repro.topology import generators
+from repro.topology.graph import CommunicationGraph
+from repro.topology.vertex_cover import best_cover
+
+
+def build_topology(name: str, n: int, seed: int) -> CommunicationGraph:
+    """Construct one of the named topology families."""
+    rng = random.Random(seed)
+    table = {
+        "star": lambda: generators.star(n),
+        "cycle": lambda: generators.cycle(n),
+        "clique": lambda: generators.clique(n),
+        "path": lambda: generators.path(n),
+        "double-star": lambda: generators.double_star(
+            max(1, n // 2 - 1), max(1, n - n // 2 - 1)
+        ),
+        "tree": lambda: generators.random_tree(n, rng),
+        "random": lambda: generators.erdos_renyi(n, 0.2, rng),
+    }
+    if name not in table:
+        raise ValueError(f"unknown topology {name!r}")
+    return table[name]()
+
+
+def build_clock(
+    name: str, graph: CommunicationGraph
+) -> ClockAlgorithm:
+    """Construct a clock algorithm by short name."""
+    n = graph.n_vertices
+    table = {
+        "inline": lambda: CoverInlineClock(graph),
+        "inline-star": lambda: StarInlineClock(n),
+        "vector": lambda: VectorClock(n),
+        "vector-sk": lambda: SKVectorClock(n),
+        "lamport": lambda: LamportClock(n),
+        "encoded": lambda: EncodedClock(n),
+        "cluster": lambda: ClusterClock(n),
+        "plausible": lambda: PlausibleClock(n, max(1, n // 3)),
+    }
+    if name not in table:
+        raise ValueError(f"unknown clock {name!r}")
+    return table[name]()
+
+
+# ----------------------------------------------------------------------
+def cmd_simulate(args: argparse.Namespace) -> int:
+    graph = build_topology(args.topology, args.n, args.seed)
+    clocks: Dict[str, ClockAlgorithm] = {
+        name: build_clock(name, graph) for name in args.clocks
+    }
+    sim = Simulation(
+        graph,
+        seed=args.seed,
+        clocks=clocks,
+        control_transport=ControlTransport(args.transport),
+        fifo_app_channels=args.fifo,
+    )
+    result = sim.run(
+        UniformWorkload(events_per_process=args.events, p_local=args.p_local)
+    )
+    ex = result.execution
+    print(
+        f"topology={args.topology} n={graph.n_vertices} "
+        f"events={ex.n_events} messages={result.app_messages} "
+        f"duration={result.duration:.2f}"
+    )
+    cover = best_cover(graph)
+    print(f"vertex cover used by 'inline': size {len(cover)} -> "
+          f"bound {2 * len(cover) + 2} elements")
+    oracle = HappenedBeforeOracle(ex)
+    rows = []
+    ok = True
+    for name, asg in result.assignments.items():
+        report = asg.validate(oracle)
+        expected = (
+            report.characterizes
+            if asg.algorithm.characterizes_causality
+            else report.is_consistent
+        )
+        ok &= expected
+        lat = summarize_latencies(result, name)
+        rows.append(
+            [
+                name,
+                report.is_consistent,
+                report.characterizes,
+                asg.max_elements(),
+                round(lat.finalized_fraction, 3),
+                round(lat.mean, 3),
+            ]
+        )
+    print(
+        format_table(
+            ["clock", "consistent", "exact", "max elements",
+             "finalized frac", "mean latency"],
+            rows,
+        )
+    )
+    if args.save_trace:
+        save_execution(ex, args.save_trace)
+        print(f"trace written to {args.save_trace}")
+    return 0 if ok else 1
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    execution = load_execution(args.trace)
+    graph = execution.graph
+    if graph is None:
+        graph = generators.clique(execution.n_processes)
+    clocks = [build_clock(name, graph) for name in args.clocks]
+    oracle = HappenedBeforeOracle(execution)
+    ok = True
+    for asg in replay(execution, clocks):
+        report = asg.validate(oracle)
+        good = (
+            report.characterizes
+            if asg.algorithm.characterizes_causality
+            else report.is_consistent
+        )
+        ok &= good
+        status = "OK" if good else "FAIL"
+        print(
+            f"{asg.algorithm.name}: {status} "
+            f"(consistent={report.is_consistent}, "
+            f"exact={report.characterizes}, "
+            f"max elements={asg.max_elements()})"
+        )
+    return 0 if ok else 1
+
+
+def cmd_sizes(args: argparse.Namespace) -> int:
+    row = compare_sizes(args.n, args.k, args.cover)
+    print(
+        format_table(
+            ["n", "K", "|VC|", "inline elements", "vector elements",
+             "inline bits", "vector bits", "inline wins"],
+            [
+                [
+                    row.n_processes,
+                    row.max_events,
+                    row.cover_size,
+                    row.inline_elements,
+                    row.vector_elements,
+                    row.inline_bits,
+                    row.vector_bits,
+                    row.inline_smaller,
+                ]
+            ],
+        )
+    )
+    crossover = crossover_cover_size(args.n, args.k)
+    print(
+        f"largest winning cover size for n={args.n}, K={args.k}: "
+        f"{crossover} (paper: n/2 - 1 = {args.n / 2 - 1:.1f})"
+    )
+    return 0
+
+
+def cmd_lower_bound(args: argparse.Namespace) -> int:
+    from repro.lowerbounds import (
+        FoldedVectorScheme,
+        ProjectedVectorScheme,
+        execution_dimension_exceeds_2,
+        flooding_adversary,
+        offline_two_element_assignment,
+        star_adversary_integer,
+        star_adversary_real,
+        theorem_4_4_witness,
+    )
+
+    n = args.n
+    if args.lemma == "2.1":
+        result = star_adversary_real(
+            lambda nn: ProjectedVectorScheme(nn, max(1, nn - 2), seed=0), n
+        )
+    elif args.lemma == "2.2":
+        result = star_adversary_integer(
+            lambda nn: FoldedVectorScheme(nn, max(1, nn - 1)), n
+        )
+    elif args.lemma == "2.3":
+        graph = generators.cycle(n)
+        result = flooding_adversary(
+            lambda nn: FoldedVectorScheme(nn, max(1, nn - 1)), graph
+        )
+    elif args.lemma == "2.4":
+        graph = generators.star(n)
+        result = flooding_adversary(
+            lambda nn: FoldedVectorScheme(nn, max(1, nn - 2)),
+            graph,
+            restrict_to_x=True,
+        )
+    else:  # 4.4
+        witness = theorem_4_4_witness()
+        exceeds = execution_dimension_exceeds_2(witness)
+        assignment = offline_two_element_assignment(witness)
+        print(f"Theorem 4.4 witness: {witness.n_events} events on a "
+              f"4-process star")
+        print(f"order dimension > 2: {exceeds}")
+        print(f"2-element offline assignment exists: {assignment is not None}")
+        return 0 if exceeds and assignment is None else 1
+
+    print(
+        f"Lemma {args.lemma} adversary (n={n}, scheme length "
+        f"{result.vector_length}): refuted={result.refuted}"
+    )
+    if result.violation:
+        print(f"counterexample: {result.violation.describe()}")
+    return 0 if result.refuted else 1
+
+
+def cmd_sync(args: argparse.Namespace) -> int:
+    """Run a timed synchronous computation with component timestamps."""
+    from repro.sync import ComponentSyncClock, SyncOracle, best_decomposition
+    from repro.sync.timed import simulate_sync
+
+    graph = build_topology(args.topology, args.n, args.seed)
+    dec = best_decomposition(graph)
+    res = simulate_sync(
+        graph,
+        actions_per_process=args.events,
+        seed=args.seed,
+        decomposition=dec,
+    )
+    clock = ComponentSyncClock(dec)
+    clock.replay(res.execution)
+    clock.finalize_at_termination()
+    oracle = SyncOracle(res.execution)
+    mismatches = sum(
+        1
+        for e in res.execution.events
+        for f in res.execution.events
+        if e.uid != f.uid
+        and clock.timestamp(e).precedes(clock.timestamp(f))
+        != oracle.happened_before(e, f)
+    )
+    lats = sorted(res.finalization_latencies().values())
+    mean_lat = sum(lats) / len(lats) if lats else 0.0
+    print(
+        f"synchronous run: {res.execution.n_events} events, "
+        f"d={dec.d} component(s), duration={res.duration:.1f}"
+    )
+    print(f"timestamp elements: max {clock.max_elements()} "
+          f"(bound 2d+4 = {2 * dec.d + 4}; vector clock would need "
+          f"{graph.n_vertices})")
+    print(f"causality mismatches vs oracle: {mismatches}")
+    print(f"finalized during run: "
+          f"{res.fraction_finalized_during_run():.1%}, "
+          f"mean latency {mean_lat:.2f}")
+    return 0 if mismatches == 0 else 1
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Quick headline reproduction: one table per core claim."""
+    from repro.clocks import replay
+    from repro.core.random_executions import random_execution
+    from repro.lowerbounds import (
+        FoldedVectorScheme,
+        execution_dimension_exceeds_2,
+        star_adversary_integer,
+        theorem_4_4_witness,
+    )
+
+    ok = True
+
+    # --- sizes (Theorem 4.2 / Section 3)
+    rows = []
+    for n in (8, 16, 32):
+        graph = generators.star(n)
+        ex = random_execution(
+            graph, random.Random(1), steps=4 * n, deliver_all=True
+        )
+        inline, vector = replay(
+            ex, [CoverInlineClock(graph, (0,)), VectorClock(n)]
+        )
+        rows.append([n, inline.max_elements(), vector.max_elements(),
+                     inline.validate().characterizes])
+        ok &= inline.max_elements() == 4 and vector.max_elements() == n
+    print("Theorem 4.2 / Section 3 — star timestamps (constant 4 vs n):")
+    print(format_table(["n", "inline elements", "vector elements", "exact"],
+                       rows))
+
+    # --- Lemma 2.2 (online lower bound)
+    result = star_adversary_integer(
+        lambda nn: FoldedVectorScheme(nn, nn - 1), args.n
+    )
+    print(f"\nLemma 2.2 — integer online vectors of length n-1 refuted: "
+          f"{result.refuted}")
+    ok &= result.refuted
+
+    # --- Theorem 4.4 (offline lower bound)
+    exceeds = execution_dimension_exceeds_2(theorem_4_4_witness())
+    print(f"Theorem 4.4 — witness execution has dimension > 2: {exceeds}")
+    ok &= exceeds
+
+    print("\n(full suite: pytest benchmarks/ --benchmark-only -s;"
+          " details in EXPERIMENTS.md)")
+    return 0 if ok else 1
+
+
+# ----------------------------------------------------------------------
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Effectiveness of Delaying Timestamp "
+            "Computation' (PODC 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run a workload with clocks attached")
+    p.add_argument("--topology", default="star",
+                   choices=["star", "cycle", "clique", "path", "double-star",
+                            "tree", "random"])
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--events", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--p-local", type=float, default=0.3)
+    p.add_argument("--clocks", nargs="+", default=["inline", "vector"],
+                   metavar="CLOCK")
+    p.add_argument("--transport", default="eager",
+                   choices=["eager", "piggyback"])
+    p.add_argument("--fifo", action="store_true",
+                   help="FIFO application channels")
+    p.add_argument("--save-trace", metavar="PATH", default=None)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("validate", help="validate clocks on a saved trace")
+    p.add_argument("trace")
+    p.add_argument("--clocks", nargs="+", default=["inline", "vector"])
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("sizes", help="analytic size model (Thms 4.2/4.3)")
+    p.add_argument("--n", type=int, default=32)
+    p.add_argument("--k", type=int, default=1000)
+    p.add_argument("--cover", type=int, default=1)
+    p.set_defaults(fn=cmd_sizes)
+
+    p = sub.add_parser("lower-bound", help="run a lower-bound adversary")
+    p.add_argument("lemma", choices=["2.1", "2.2", "2.3", "2.4", "4.4"])
+    p.add_argument("--n", type=int, default=8)
+    p.set_defaults(fn=cmd_lower_bound)
+
+    p = sub.add_parser(
+        "experiments", help="quick headline reproduction of the core claims"
+    )
+    p.add_argument("--n", type=int, default=6)
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser(
+        "sync", help="timed synchronous run with component timestamps"
+    )
+    p.add_argument("--topology", default="star",
+                   choices=["star", "cycle", "clique", "path", "double-star",
+                            "tree", "random"])
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--events", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_sync)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

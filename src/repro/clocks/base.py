@@ -1,0 +1,205 @@
+"""Common interface for timestamping algorithms.
+
+Every scheme in the library — Lamport clocks, standard vector clocks, the
+paper's inline star and vertex-cover algorithms, and the related-work
+baselines — implements :class:`ClockAlgorithm`.  The interface mirrors how a
+real protocol stack would host the algorithm:
+
+- :meth:`ClockAlgorithm.on_local` / :meth:`ClockAlgorithm.on_send` /
+  :meth:`ClockAlgorithm.on_receive` are invoked as the corresponding events
+  occur.  ``on_send`` returns the *payload* piggybacked on the application
+  message; ``on_receive`` gets that payload back.
+- ``on_receive`` may return :class:`ControlMessage` objects.  The paper's
+  inline algorithms use these to tell a sender at which index its message was
+  received (Figure 1's ``⟨ctr_m, ctr_C⟩`` message).  The *transport* of
+  control messages is owned by the host (the replayer delivers them
+  instantly; the simulator routes them through FIFO control channels with
+  real delays, or piggybacks them — see :mod:`repro.sim.runner`).
+- :meth:`ClockAlgorithm.timestamp` returns the (possibly still provisional)
+  timestamp of an event, or ``None`` for ``⊥``;
+  :meth:`ClockAlgorithm.is_final` says whether it is permanent.  Online
+  algorithms finalize instantly; the inline algorithms finalize after the
+  round trip described in the paper; *offline* finalization at termination is
+  modelled by :meth:`ClockAlgorithm.finalize_at_termination`.
+
+Timestamps themselves are small value objects implementing
+:class:`Timestamp`: ``a.precedes(b)`` decides ``event(a) -> event(b)`` using
+the scheme's own comparison operator (standard vector comparison for vector
+clocks, the paper's Theorem 3.1 / 4.1 operators for the inline schemes).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.events import Event, EventId, ProcessId
+
+#: Sentinel used for "no event at the cover process yet / ever" in ``post``
+#: fields.  The paper's convention: ``min`` of an empty set is infinity.
+INFINITY = float("inf")
+
+
+class Timestamp(abc.ABC):
+    """A permanent timestamp value.
+
+    Subclasses define the scheme-specific comparison.  ``precedes`` must be
+    a strict order on the timestamps of a single execution.
+    """
+
+    @abc.abstractmethod
+    def precedes(self, other: "Timestamp") -> bool:
+        """Whether this timestamp's event happened before *other*'s."""
+
+    @abc.abstractmethod
+    def elements(self) -> Tuple[Any, ...]:
+        """The scheme's integer (or real) elements, for size accounting."""
+
+    def concurrent_with(self, other: "Timestamp") -> bool:
+        """Neither precedes the other (events are distinct by construction)."""
+        return not self.precedes(other) and not other.precedes(self)
+
+    @property
+    def n_elements(self) -> int:
+        """Number of stored elements — the paper's size metric (Thm 4.2)."""
+        return len(self.elements())
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """A metadata-only message emitted by a clock algorithm.
+
+    The paper requires control channels to be FIFO per directed pair (the
+    application channels need not be).  ``src``/``dst`` are processes;
+    ``payload`` is scheme-private.
+    """
+
+    src: ProcessId
+    dst: ProcessId
+    payload: Any
+
+
+class ClockAlgorithm(abc.ABC):
+    """Base class for all timestamping schemes.
+
+    Subclasses must set :attr:`name` and :attr:`characterizes_causality`
+    (``True`` when ``precedes`` captures happened-before exactly, ``False``
+    for consistent-but-lossy schemes such as Lamport or plausible clocks).
+    """
+
+    name: str = "abstract"
+    #: whether timestamp comparison is *iff* (characterizes causality)
+    characterizes_causality: bool = True
+
+    def __init__(self, n_processes: int) -> None:
+        if n_processes < 1:
+            raise ValueError("need at least one process")
+        self._n = n_processes
+        self._newly_finalized: List[EventId] = []
+
+    @property
+    def n_processes(self) -> int:
+        return self._n
+
+    # ------------------------------------------------------------------
+    # event hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_local(self, ev: Event) -> None:
+        """A local event occurred."""
+
+    @abc.abstractmethod
+    def on_send(self, ev: Event) -> Any:
+        """A send occurred; return the payload piggybacked on the message."""
+
+    @abc.abstractmethod
+    def on_receive(self, ev: Event, payload: Any) -> List[ControlMessage]:
+        """A receive occurred with the sender's *payload*.
+
+        Returns control messages for the host to transport (possibly empty).
+        """
+
+    def on_control(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        """A control message from *src* reached *dst*.
+
+        Default: the scheme uses no control messages.
+        """
+        raise NotImplementedError(f"{self.name} does not use control messages")
+
+    # ------------------------------------------------------------------
+    # timestamp queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def timestamp(self, eid: EventId) -> Optional[Timestamp]:
+        """Current timestamp of *eid*, or ``None`` for ``⊥`` (unknown)."""
+
+    @abc.abstractmethod
+    def is_final(self, eid: EventId) -> bool:
+        """Whether the timestamp of *eid* is permanent."""
+
+    def finalize_at_termination(self) -> List[EventId]:
+        """Declare the execution terminated.
+
+        No further messages will arrive, so every provisional value is now
+        permanent (offline finalization).  Returns the events that became
+        final by this call.  Default: nothing to do (online schemes).
+        """
+        return []
+
+    def drain_newly_finalized(self) -> List[EventId]:
+        """Events finalized since the last drain (hosts use this to record
+        finalization times)."""
+        out = self._newly_finalized
+        self._newly_finalized = []
+        return out
+
+    def _mark_final(self, eid: EventId) -> None:
+        self._newly_finalized.append(eid)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def payload_elements(self, payload: Any) -> int:
+        """Number of scalar elements the payload adds to an app message."""
+        return _count_elements(payload)
+
+    def timestamp_bits(self, ts: Timestamp, max_events: int) -> int:
+        """Bits to encode *ts* given ≤ *max_events* events per process.
+
+        Default accounting: ``ceil(log2(K+1))`` bits per counter element and
+        ``ceil(log2(n))`` bits for a process-id element; subclasses override
+        when their elements have different domains.
+        """
+        import math
+
+        counter_bits = max(1, math.ceil(math.log2(max_events + 1)))
+        return ts.n_elements * counter_bits
+
+
+def _count_elements(payload: Any) -> int:
+    """Count scalar leaves in a nested payload structure."""
+    if payload is None:
+        return 0
+    if isinstance(payload, (int, float)):
+        return 1
+    if isinstance(payload, (tuple, list)):
+        return sum(_count_elements(x) for x in payload)
+    if isinstance(payload, dict):
+        return sum(1 + _count_elements(v) for v in payload.values())
+    raise TypeError(f"unsupported payload component: {type(payload)!r}")
+
+
+# ----------------------------------------------------------------------
+# standard vector comparison, shared by several schemes
+# ----------------------------------------------------------------------
+def vector_leq(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Standard componentwise ``<=`` on equal-length vectors."""
+    if len(a) != len(b):
+        raise ValueError("vector length mismatch")
+    return all(x <= y for x, y in zip(a, b))
+
+
+def vector_lt(a: Sequence[float], b: Sequence[float]) -> bool:
+    """The paper's *standard vector clock comparison*: ``<= and !=``."""
+    return vector_leq(a, b) and tuple(a) != tuple(b)

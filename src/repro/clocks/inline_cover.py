@@ -1,0 +1,351 @@
+"""Inline timestamps for arbitrary graphs via a vertex cover (paper Section 4).
+
+Let ``VC`` be a vertex cover of the communication graph: every message is
+sent from or to (or both) a process in ``VC``.  Processes in ``VC`` maintain
+a vector clock *among themselves* (the ``mpre`` vector, one entry per cover
+process); processes outside ``VC`` additionally learn, per cover neighbour
+``c``, the index of the first event at ``c`` in each of their events' causal
+future (the ``mpost`` vector).  An event's timestamp is
+
+    ``⟨id, mctr, mpre[|VC|], mpost[|VC|]⟩``
+
+— at most ``2|VC| + 2`` elements (Theorem 4.2).  Events at cover processes
+are final immediately (they store no ``mpost``); an event at ``j ∉ VC``
+becomes final once ``mpost[c]`` is known for every cover process ``c``
+adjacent to ``j`` — i.e. after ``j`` completes a round trip with each cover
+neighbour.  Entries for cover processes with no channel to ``j`` are ``∞``
+forever and do not block finalization (paper's Remark in Section 4).
+
+Definitions implemented (with max ∅ = 0 and min ∅ = ∞):
+
+- ``mctr_e``    — 1-based index of ``e`` at its process;
+- ``mpre_e[c]`` — max ``mctr_f`` over events ``f`` at ``c`` with ``f ⪯ e``;
+- ``mpost_e[c]``— min ``mctr_f`` over events ``f`` at ``c`` such that some
+  message ``m`` from ``j`` to ``c`` has ``e ⪯ send(m)`` and
+  ``receive(m) ⪯ f`` (the minimum is attained at ``f = receive(m)``).
+
+Comparison is Theorem 4.1's four-case operator.  Control messages (a cover
+process acknowledging ``⟨mctr_m, mctr_of_receive⟩`` to a non-cover sender)
+are resequenced per directed pair exactly as in
+:class:`repro.clocks.inline_star.StarInlineClock`; with ``VC = {center}`` on
+a star graph this class degenerates to the Section-3 algorithm (a property
+the test suite checks exhaustively).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.clocks.base import (
+    INFINITY,
+    ClockAlgorithm,
+    ControlMessage,
+    Timestamp,
+    vector_leq,
+    vector_lt,
+)
+from repro.core.events import Event, EventId, ProcessId
+from repro.topology.graph import CommunicationGraph
+
+PostValue = Union[int, float]
+
+
+@dataclass(frozen=True)
+class CoverTimestamp(Timestamp):
+    """A finalized vertex-cover inline timestamp.
+
+    ``mpre``/``mpost`` are indexed by position in the sorted ``cover`` tuple;
+    ``mpost`` is ``None`` for events at cover processes.  ``cover`` itself is
+    global protocol knowledge and is not counted among the elements.
+    """
+
+    id: ProcessId
+    mctr: int
+    mpre: Tuple[int, ...]
+    mpost: Optional[Tuple[PostValue, ...]]
+    cover: Tuple[ProcessId, ...]
+
+    @property
+    def in_cover(self) -> bool:
+        return self.mpost is None
+
+    def precedes(self, other: "Timestamp") -> bool:
+        """Theorem 4.1's comparison: ``e -> f`` iff ``self < other``."""
+        if not isinstance(other, CoverTimestamp):
+            raise TypeError("cannot compare across schemes")
+        if self.cover != other.cover:
+            raise ValueError("timestamps use different vertex covers")
+        e, f = self, other
+        if e.in_cover and f.in_cover:
+            return vector_lt(e.mpre, f.mpre)
+        if e.in_cover and not f.in_cover:
+            return vector_leq(e.mpre, f.mpre)
+        assert e.mpost is not None
+        if f.id != e.id:
+            return any(
+                post_c <= pre_c for post_c, pre_c in zip(e.mpost, f.mpre)
+            )
+        return e.mctr < f.mctr
+
+    def elements(self) -> Tuple[PostValue, ...]:
+        """Stored elements: ``2 + |VC|`` for cover events,
+        ``2 + 2|VC|`` for the rest (Theorem 4.2's bound)."""
+        base: Tuple[PostValue, ...] = (self.id, self.mctr) + self.mpre
+        if self.mpost is None:
+            return base
+        return base + self.mpost
+
+
+@dataclass
+class _Record:
+    mctr: int
+    mpre: Tuple[int, ...]
+    mpost: Optional[List[PostValue]]  # None for cover events
+    final: bool = False
+
+
+class CoverInlineClock(ClockAlgorithm):
+    """The Section-4 algorithm for an arbitrary communication graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology; used to validate the cover, to know
+        which ``mpost`` entries can ever be filled, and to reject messages
+        that do not follow an edge.
+    cover:
+        A vertex cover of *graph*.  Smaller covers give smaller timestamps;
+        see :mod:`repro.topology.vertex_cover` for ways to compute one.
+    """
+
+    name = "inline-cover"
+    characterizes_causality = True
+
+    def __init__(
+        self,
+        graph: CommunicationGraph,
+        cover: Optional[Tuple[ProcessId, ...]] = None,
+    ) -> None:
+        super().__init__(graph.n_vertices)
+        if cover is None:
+            from repro.topology.vertex_cover import best_cover
+
+            cover = tuple(best_cover(graph))
+        self._cover: Tuple[ProcessId, ...] = tuple(sorted(set(cover)))
+        if not graph.is_vertex_cover(self._cover):
+            raise ValueError(f"{self._cover} is not a vertex cover")
+        self._graph = graph
+        self._cpos: Dict[ProcessId, int] = {
+            c: i for i, c in enumerate(self._cover)
+        }
+        k = len(self._cover)
+        self._mctr = [0] * self._n
+        self._mpre: List[List[int]] = [[0] * k for _ in range(self._n)]
+        self._records: Dict[ProcessId, List[_Record]] = {
+            p: [] for p in range(self._n)
+        }
+        # which mpost slots of a non-cover process can ever become finite
+        self._adjacent_cover: Dict[ProcessId, Tuple[int, ...]] = {}
+        for p in range(self._n):
+            if p not in self._cpos:
+                self._adjacent_cover[p] = tuple(
+                    self._cpos[c] for c in sorted(graph.neighbors(p))
+                )
+        # control sequencing, per directed pair (c -> j)
+        self._ctrl_seq_out: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        self._ctrl_seq_in: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        self._ctrl_buffer: Dict[
+            Tuple[ProcessId, ProcessId], Dict[int, Tuple[int, int]]
+        ] = {}
+        self._ctrl_emitted: Dict[
+            Tuple[ProcessId, ProcessId], List[Tuple[int, int]]
+        ] = {}
+        # per (j, cover-slot): events with mctr <= this have final mpost[slot]
+        self._upto: Dict[Tuple[ProcessId, int], int] = {}
+        self._terminated = False
+
+    # ------------------------------------------------------------------
+    @property
+    def cover(self) -> Tuple[ProcessId, ...]:
+        return self._cover
+
+    @property
+    def graph(self) -> CommunicationGraph:
+        return self._graph
+
+    def in_cover(self, p: ProcessId) -> bool:
+        return p in self._cpos
+
+    # ------------------------------------------------------------------
+    def _new_event(self, ev: Event) -> _Record:
+        p = ev.proc
+        self._mctr[p] += 1
+        if ev.index != self._mctr[p]:
+            raise ValueError(
+                f"event index {ev.index} does not match local counter "
+                f"{self._mctr[p]}"
+            )
+        if p in self._cpos:
+            self._mpre[p][self._cpos[p]] = self._mctr[p]
+            rec = _Record(
+                mctr=self._mctr[p], mpre=tuple(self._mpre[p]), mpost=None,
+                final=True,
+            )
+            self._mark_final(ev.eid)
+        else:
+            rec = _Record(
+                mctr=self._mctr[p],
+                mpre=tuple(self._mpre[p]),
+                mpost=[INFINITY] * len(self._cover),
+            )
+            if not self._adjacent_cover[p]:
+                # isolated non-cover process: nothing to wait for
+                rec.final = True
+                self._mark_final(ev.eid)
+        self._records[p].append(rec)
+        return rec
+
+    def _check_edge(self, ev: Event) -> None:
+        if ev.peer is not None and not self._graph.has_edge(ev.proc, ev.peer):
+            raise ValueError(
+                f"message between p{ev.proc} and p{ev.peer} "
+                f"violates the communication graph"
+            )
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def on_local(self, ev: Event) -> None:
+        self._new_event(ev)
+
+    def on_send(self, ev: Event) -> Any:
+        self._check_edge(ev)
+        rec = self._new_event(ev)
+        return (ev.proc, rec.mctr, rec.mpre)
+
+    def on_receive(self, ev: Event, payload: Any) -> List[ControlMessage]:
+        self._check_edge(ev)
+        src, mctr_m, mpre_m = payload
+        p = ev.proc
+        mine = self._mpre[p]
+        for i, v in enumerate(mpre_m):
+            if v > mine[i]:
+                mine[i] = v
+        rec = self._new_event(ev)
+        if p in self._cpos and src not in self._cpos:
+            # acknowledge to the non-cover sender (paper: control message
+            # with the send index and the receive index at the cover process)
+            key = (p, src)
+            seq = self._ctrl_seq_out.get(key, 0)
+            self._ctrl_seq_out[key] = seq + 1
+            self._ctrl_emitted.setdefault(key, []).append((mctr_m, rec.mctr))
+            return [ControlMessage(src=p, dst=src, payload=(seq, mctr_m, rec.mctr))]
+        return []
+
+    # ------------------------------------------------------------------
+    # control handling
+    # ------------------------------------------------------------------
+    def on_control(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        """Deliver a control message, resequencing per (src, dst) pair."""
+        if src not in self._cpos:
+            raise ValueError(f"control message from non-cover process p{src}")
+        seq, a, b = payload
+        key = (src, dst)
+        buf = self._ctrl_buffer.setdefault(key, {})
+        if seq in buf:
+            raise ValueError(f"duplicate control seq {seq} on {key}")
+        buf[seq] = (a, b)
+        expected = self._ctrl_seq_in.get(key, 0)
+        while expected in buf:
+            a2, b2 = buf.pop(expected)
+            expected += 1
+            self._apply_control(src, dst, a2, b2)
+        self._ctrl_seq_in[key] = expected
+
+    def _apply_control(self, c: ProcessId, j: ProcessId, a: int, b: int) -> None:
+        slot = self._cpos[c]
+        upto = self._upto.get((j, slot), 0)
+        if a <= upto:
+            return
+        for rec in self._records[j][upto:a]:
+            assert rec.mpost is not None
+            if b < rec.mpost[slot]:
+                rec.mpost[slot] = b
+            if not rec.final and self._is_complete(j, rec):
+                rec.final = True
+                self._mark_final(EventId(j, rec.mctr))
+        self._upto[(j, slot)] = a
+
+    def _is_complete(self, j: ProcessId, rec: _Record) -> bool:
+        assert rec.mpost is not None
+        return all(
+            rec.mpost[slot] != INFINITY for slot in self._adjacent_cover[j]
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _record_of(self, eid: EventId) -> _Record:
+        recs = self._records[eid.proc]
+        if not 1 <= eid.index <= len(recs):
+            raise KeyError(f"unknown event {eid}")
+        return recs[eid.index - 1]
+
+    def timestamp(self, eid: EventId) -> Optional[CoverTimestamp]:
+        rec = self._record_of(eid)
+        if not rec.final:
+            return None
+        return self._to_timestamp(eid, rec)
+
+    def provisional_timestamp(self, eid: EventId) -> CoverTimestamp:
+        """Current (possibly provisional) value, for inspection/debugging."""
+        return self._to_timestamp(eid, self._record_of(eid))
+
+    def _to_timestamp(self, eid: EventId, rec: _Record) -> CoverTimestamp:
+        return CoverTimestamp(
+            id=eid.proc,
+            mctr=rec.mctr,
+            mpre=rec.mpre,
+            mpost=None if rec.mpost is None else tuple(rec.mpost),
+            cover=self._cover,
+        )
+
+    def is_final(self, eid: EventId) -> bool:
+        return self._record_of(eid).final
+
+    # ------------------------------------------------------------------
+    def timestamp_bits(self, ts: Timestamp, max_events: int) -> int:
+        """Theorem 4.3 accounting: ``id`` costs ``ceil(log2 n)`` bits,
+        every other stored element ``ceil(log2(K+1))`` bits (∞ entries are
+        encoded as 0, which no real receive index uses)."""
+        import math
+
+        assert isinstance(ts, CoverTimestamp)
+        counter = max(1, math.ceil(math.log2(max_events + 1)))
+        ident = max(1, math.ceil(math.log2(self._n)))
+        return ident + (ts.n_elements - 1) * counter
+
+    # ------------------------------------------------------------------
+    def finalize_at_termination(self) -> List[EventId]:
+        """Flush undelivered acknowledgements; remaining ∞ become permanent."""
+        if self._terminated:
+            return []
+        self._terminated = True
+        start = len(self._newly_finalized)
+        for key, emitted in self._ctrl_emitted.items():
+            c, j = key
+            applied = self._ctrl_seq_in.get(key, 0)
+            for seq in range(applied, len(emitted)):
+                a, b = emitted[seq]
+                self._apply_control(c, j, a, b)
+            self._ctrl_seq_in[key] = len(emitted)
+            self._ctrl_buffer.get(key, {}).clear()
+        for p in range(self._n):
+            if p in self._cpos:
+                continue
+            for rec in self._records[p]:
+                if not rec.final:
+                    rec.final = True
+                    self._mark_final(EventId(p, rec.mctr))
+        return list(self._newly_finalized[start:])

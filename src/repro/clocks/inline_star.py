@@ -1,0 +1,314 @@
+"""Inline timestamps for the star network (paper Section 3, Figure 1).
+
+A star network has one *central* process ``C`` and ``n-1`` *radial*
+processes; every message travels between ``C`` and some radial process.  The
+key idea: for events ``e``, ``f`` on different radial processes with
+``e -> f`` there must be an event ``g`` at ``C`` with ``e -> g -> f``, so
+events at ``C`` can serve as proxies.  Each event then needs only four
+elements, ``⟨id, ctr, pre, post⟩``:
+
+- ``id``    — the process where the event occurred;
+- ``ctr``   — its 1-based index at that process;
+- ``pre``   — the largest ``ctr`` of an event at ``C`` in its causal past
+  (``pre = ctr`` for events at ``C`` themselves; max of empty set is 0);
+- ``post``  — the smallest ``ctr`` of an event at ``C`` in its causal future
+  (radial events only; min of empty set is ∞).
+
+``pre`` is known the moment the event occurs; ``post`` becomes known when
+``C`` acknowledges, via a *control message* ``⟨ctr_m, ctr_C⟩`` on a FIFO
+control channel, the receipt of a message the radial process sent at or
+after the event.  Until then the timestamp is ``⊥`` (inline).  Comparison is
+Theorem 3.1's four-case operator — *not* the standard vector comparison.
+
+FIFO control transport: rather than assuming the host's channels are FIFO,
+the algorithm stamps every control message with a per-channel sequence
+number and resequences at the receiver, exactly as the paper notes one can
+"simulate a FIFO channel for the control messages".  This keeps finalization
+semantics correct even when the host piggybacks controls on non-FIFO
+application messages.
+
+``finalize_at_termination`` models the end of the computation: any control
+message that was emitted but never transported is applied (the information
+exists at ``C``; a terminating run can always flush it), after which every
+remaining ``∞`` is the event's true, permanent ``post`` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.clocks.base import (
+    INFINITY,
+    ClockAlgorithm,
+    ControlMessage,
+    Timestamp,
+)
+from repro.core.events import Event, EventId, ProcessId
+
+PostValue = Union[int, float]  # int, or INFINITY
+
+
+@dataclass(frozen=True)
+class StarTimestamp(Timestamp):
+    """A finalized ``⟨id, ctr, pre, post⟩`` star timestamp.
+
+    ``post`` is ``None`` for events at the central process (where it is not
+    defined) and ``INFINITY`` for radial events with no causal successor at
+    ``C``.  ``center`` identifies the central process; it is global protocol
+    knowledge and is not counted as a timestamp element.
+    """
+
+    id: ProcessId
+    ctr: int
+    pre: int
+    post: Optional[PostValue]
+    center: ProcessId
+
+    @property
+    def at_center(self) -> bool:
+        return self.id == self.center
+
+    def precedes(self, other: "Timestamp") -> bool:
+        """Theorem 3.1's comparison: ``e -> f`` iff ``self < other``."""
+        if not isinstance(other, StarTimestamp):
+            raise TypeError("cannot compare across schemes")
+        if self.center != other.center:
+            raise ValueError("timestamps come from different star systems")
+        e, f = self, other
+        if e.at_center and f.at_center:
+            return e.pre < f.pre
+        if e.at_center and not f.at_center:
+            return e.pre <= f.pre
+        if not e.at_center and f.id != e.id:
+            assert e.post is not None
+            return e.post <= f.pre
+        # radial, same process
+        return e.ctr < f.ctr
+
+    def elements(self) -> Tuple[PostValue, ...]:
+        """Stored elements: 4 for radial events, 2 for central ones
+        (``pre = ctr`` and ``post`` undefined at the center)."""
+        if self.at_center:
+            return (self.id, self.ctr)
+        assert self.post is not None
+        return (self.id, self.ctr, self.pre, self.post)
+
+
+@dataclass
+class _Record:
+    """Mutable per-event state while the execution is in progress."""
+
+    ctr: int
+    pre: int
+    post: PostValue = INFINITY  # meaningful for radial events only
+    final: bool = False
+
+
+class StarInlineClock(ClockAlgorithm):
+    """The Figure-1 algorithm.
+
+    Parameters
+    ----------
+    n_processes:
+        Total number of processes.
+    center:
+        The central process id (default 0, matching
+        :func:`repro.topology.generators.star`).
+    """
+
+    name = "inline-star"
+    characterizes_causality = True
+
+    def __init__(self, n_processes: int, center: ProcessId = 0) -> None:
+        super().__init__(n_processes)
+        if not 0 <= center < n_processes:
+            raise ValueError("center out of range")
+        self._center = center
+        self._ctr = [0] * n_processes
+        self._pre = [0] * n_processes
+        self._records: Dict[ProcessId, List[_Record]] = {
+            p: [] for p in range(n_processes)
+        }
+        # control-channel sequencing (C -> j), and resequencing state at j
+        self._ctrl_seq_out = [0] * n_processes  # next seq to emit, per dst
+        self._ctrl_seq_in = [0] * n_processes  # next seq expected, per dst
+        self._ctrl_buffer: Dict[ProcessId, Dict[int, Tuple[int, int]]] = {
+            p: {} for p in range(n_processes)
+        }
+        # events with ctr <= finalized_upto[j] have final post values
+        self._finalized_upto = [0] * n_processes
+        # all emitted controls, and how many were actually delivered, per dst
+        self._ctrl_emitted: Dict[ProcessId, List[Tuple[int, int]]] = {
+            p: [] for p in range(n_processes)
+        }
+        self._terminated = False
+
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> ProcessId:
+        return self._center
+
+    def _is_center(self, p: ProcessId) -> bool:
+        return p == self._center
+
+    def _new_event(self, ev: Event) -> _Record:
+        p = ev.proc
+        self._ctr[p] += 1
+        if self._is_center(p):
+            rec = _Record(ctr=self._ctr[p], pre=self._ctr[p], final=True)
+            self._mark_final(ev.eid)
+        else:
+            rec = _Record(ctr=self._ctr[p], pre=self._pre[p])
+        if ev.index != rec.ctr:
+            raise ValueError(
+                f"event index {ev.index} does not match local counter {rec.ctr}"
+            )
+        self._records[p].append(rec)
+        return rec
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+    def on_local(self, ev: Event) -> None:
+        self._check_star_event(ev)
+        self._new_event(ev)
+
+    def on_send(self, ev: Event) -> Any:
+        self._check_star_event(ev)
+        rec = self._new_event(ev)
+        return (rec.ctr, rec.pre)
+
+    def on_receive(self, ev: Event, payload: Any) -> List[ControlMessage]:
+        self._check_star_event(ev)
+        ctr_m, _pre_m = payload
+        p = ev.proc
+        if self._is_center(p):
+            rec = self._new_event(ev)
+            # acknowledge: tell sender j at which index its message arrived
+            j = ev.peer
+            assert j is not None
+            seq = self._ctrl_seq_out[j]
+            self._ctrl_seq_out[j] += 1
+            self._ctrl_emitted[j].append((ctr_m, rec.ctr))
+            return [
+                ControlMessage(
+                    src=p, dst=j, payload=(seq, ctr_m, rec.ctr)
+                )
+            ]
+        # radial receive: the message necessarily came from C
+        self._pre[p] = max(self._pre[p], ctr_m)
+        self._new_event(ev)
+        return []
+
+    def _check_star_event(self, ev: Event) -> None:
+        if ev.peer is not None:
+            if not (self._is_center(ev.proc) or self._is_center(ev.peer)):
+                raise ValueError(
+                    f"message between two radial processes "
+                    f"(p{ev.proc} and p{ev.peer}) violates the star topology"
+                )
+
+    # ------------------------------------------------------------------
+    # control handling
+    # ------------------------------------------------------------------
+    def on_control(self, src: ProcessId, dst: ProcessId, payload: Any) -> None:
+        """Deliver a control message ``(seq, a, b)`` to radial process *dst*.
+
+        Applies it in sequence-number order (resequencing buffer), per the
+        paper's FIFO control channel requirement.  *src* is necessarily the
+        central process.
+        """
+        if src != self._center:
+            raise ValueError(f"control message from non-central process p{src}")
+        seq, a, b = payload
+        buf = self._ctrl_buffer[dst]
+        if seq in buf:
+            raise ValueError(f"duplicate control message seq {seq} for p{dst}")
+        buf[seq] = (a, b)
+        while self._ctrl_seq_in[dst] in buf:
+            a2, b2 = buf.pop(self._ctrl_seq_in[dst])
+            self._ctrl_seq_in[dst] += 1
+            self._apply_control(dst, a2, b2)
+
+    def _apply_control(self, j: ProcessId, a: int, b: int) -> None:
+        """Set ``post = b`` for events at *j* with ``ctr`` in
+        ``(finalized_upto, a]`` — those are exactly the events for which this
+        is the first (hence minimal, by FIFO) applicable acknowledgement."""
+        upto = self._finalized_upto[j]
+        if a <= upto:
+            return
+        for rec in self._records[j][upto:a]:
+            rec.post = min(rec.post, b)
+            if not rec.final:
+                rec.final = True
+                self._mark_final(EventId(j, rec.ctr))
+        self._finalized_upto[j] = a
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def timestamp(self, eid: EventId) -> Optional[StarTimestamp]:
+        rec = self._record_of(eid)
+        if not rec.final:
+            return None
+        post = None if self._is_center(eid.proc) else rec.post
+        return StarTimestamp(
+            id=eid.proc, ctr=rec.ctr, pre=rec.pre, post=post, center=self._center
+        )
+
+    def provisional_timestamp(self, eid: EventId) -> StarTimestamp:
+        """The current (possibly not yet permanent) value — for inspection."""
+        rec = self._record_of(eid)
+        post = None if self._is_center(eid.proc) else rec.post
+        return StarTimestamp(
+            id=eid.proc, ctr=rec.ctr, pre=rec.pre, post=post, center=self._center
+        )
+
+    def is_final(self, eid: EventId) -> bool:
+        return self._record_of(eid).final
+
+    def _record_of(self, eid: EventId) -> _Record:
+        recs = self._records[eid.proc]
+        if not 1 <= eid.index <= len(recs):
+            raise KeyError(f"unknown event {eid}")
+        return recs[eid.index - 1]
+
+    # ------------------------------------------------------------------
+    def timestamp_bits(self, ts: Timestamp, max_events: int) -> int:
+        """Theorem 4.3 accounting for the star (|VC| = 1).
+
+        The ``id`` element costs ``ceil(log2 n)`` bits; every other stored
+        element costs ``ceil(log2(K+1))`` bits (a ``post`` of ∞ is encoded
+        as 0, which no real receive index uses).
+        """
+        import math
+
+        assert isinstance(ts, StarTimestamp)
+        counter = max(1, math.ceil(math.log2(max_events + 1)))
+        ident = max(1, math.ceil(math.log2(self._n)))
+        return ident + (ts.n_elements - 1) * counter
+
+    # ------------------------------------------------------------------
+    def finalize_at_termination(self) -> List[EventId]:
+        """Flush undelivered control information and make all posts permanent."""
+        if self._terminated:
+            return []
+        self._terminated = True
+        start = len(self._newly_finalized)
+        for j in range(self._n):
+            if self._is_center(j):
+                continue
+            # apply every emitted-but-not-yet-applied control, in order
+            applied = self._ctrl_seq_in[j]
+            for seq in range(applied, len(self._ctrl_emitted[j])):
+                a, b = self._ctrl_emitted[j][seq]
+                self._apply_control(j, a, b)
+            self._ctrl_seq_in[j] = len(self._ctrl_emitted[j])
+            self._ctrl_buffer[j].clear()
+            # remaining infinities are true: no causal successor at C
+            for rec in self._records[j]:
+                if not rec.final:
+                    rec.final = True
+                    self._mark_final(EventId(j, rec.ctr))
+        return list(self._newly_finalized[start:])

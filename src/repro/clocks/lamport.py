@@ -1,0 +1,69 @@
+"""Lamport scalar clocks [Lamport 1978].
+
+The classic 1-element logical clock: consistent with causality
+(``e -> f`` implies ``L(e) < L(f)``) but *not characterizing* — concurrent
+events may receive ordered clock values.  Included as the minimal baseline
+for the size/accuracy trade-off benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.clocks.base import ClockAlgorithm, ControlMessage, Timestamp
+from repro.core.events import Event, EventId
+
+
+@dataclass(frozen=True)
+class LamportTimestamp(Timestamp):
+    """``(clock, proc)`` — the process id is used only for tie-breaking."""
+
+    clock: int
+    proc: int
+
+    def precedes(self, other: "Timestamp") -> bool:
+        if not isinstance(other, LamportTimestamp):
+            raise TypeError("cannot compare across schemes")
+        # Total order (Lamport's tie-break by process id).  This *claims*
+        # more order than happened-before provides; the scheme is marked
+        # non-characterizing.
+        return (self.clock, self.proc) < (other.clock, other.proc)
+
+    def elements(self) -> Tuple[int, ...]:
+        return (self.clock,)
+
+
+class LamportClock(ClockAlgorithm):
+    """Online scalar clock; every timestamp is final immediately."""
+
+    name = "lamport"
+    characterizes_causality = False
+
+    def __init__(self, n_processes: int) -> None:
+        super().__init__(n_processes)
+        self._clock = [0] * n_processes
+        self._ts: Dict[EventId, LamportTimestamp] = {}
+
+    def _tick(self, ev: Event, floor: int = 0) -> None:
+        p = ev.proc
+        self._clock[p] = max(self._clock[p], floor) + 1
+        self._ts[ev.eid] = LamportTimestamp(self._clock[p], p)
+        self._mark_final(ev.eid)
+
+    def on_local(self, ev: Event) -> None:
+        self._tick(ev)
+
+    def on_send(self, ev: Event) -> Any:
+        self._tick(ev)
+        return self._clock[ev.proc]
+
+    def on_receive(self, ev: Event, payload: Any) -> List[ControlMessage]:
+        self._tick(ev, floor=int(payload))
+        return []
+
+    def timestamp(self, eid: EventId) -> Optional[LamportTimestamp]:
+        return self._ts.get(eid)
+
+    def is_final(self, eid: EventId) -> bool:
+        return eid in self._ts

@@ -1,0 +1,261 @@
+"""Replaying clock algorithms over recorded executions.
+
+The replayer feeds an :class:`~repro.core.execution.Execution` to one or
+more :class:`~repro.clocks.base.ClockAlgorithm` instances in a causally
+consistent total order, transporting application payloads between the send
+and receive hooks and delivering control messages *instantly* (zero-latency
+control channels).  Instant delivery gives each inline scheme its best-case
+finalization behaviour; hosts that care about finalization *timing* should
+use the discrete-event simulator (:mod:`repro.sim`) instead, which routes
+control messages through channels with real delays.
+
+The result per algorithm is a :class:`TimestampAssignment`: an immutable
+event → timestamp map with helpers to compare events and to validate the
+scheme against the ground-truth happened-before oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.clocks.base import ClockAlgorithm, Timestamp
+from repro.core.events import EventId
+from repro.core.execution import Execution
+from repro.core.happened_before import HappenedBeforeOracle
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of checking a scheme against the happened-before oracle.
+
+    ``false_negatives`` are ordered pairs ``(e, f)`` with ``e -> f`` but
+    ``not ts_e.precedes(ts_f)`` — a *consistency* violation, fatal for every
+    scheme.  ``false_positives`` are pairs claimed ordered by the timestamps
+    but actually concurrent — expected to be empty for characterizing
+    schemes, and merely counted for lossy ones (Lamport, plausible clocks).
+    """
+
+    algorithm: str
+    n_events: int
+    n_ordered_pairs: int
+    n_concurrent_pairs: int
+    false_negatives: Tuple[Tuple[EventId, EventId], ...]
+    false_positives: Tuple[Tuple[EventId, EventId], ...]
+
+    @property
+    def is_consistent(self) -> bool:
+        """Causal order never contradicted (no false negatives)."""
+        return not self.false_negatives
+
+    @property
+    def characterizes(self) -> bool:
+        """Comparison is exactly happened-before on the checked events."""
+        return not self.false_negatives and not self.false_positives
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of concurrent ordered-pairs wrongly claimed ordered."""
+        if self.n_concurrent_pairs == 0:
+            return 0.0
+        return len(self.false_positives) / (2 * self.n_concurrent_pairs)
+
+
+class TimestampAssignment:
+    """The timestamps an algorithm assigned to one execution."""
+
+    def __init__(
+        self,
+        algorithm: ClockAlgorithm,
+        execution: Execution,
+        timestamps: Mapping[EventId, Timestamp],
+        finalized_during_run: Set[EventId],
+    ) -> None:
+        self._algorithm = algorithm
+        self._execution = execution
+        self._ts: Dict[EventId, Timestamp] = dict(timestamps)
+        self._finalized_during_run = frozenset(finalized_during_run)
+
+    @property
+    def algorithm(self) -> ClockAlgorithm:
+        return self._algorithm
+
+    @property
+    def execution(self) -> Execution:
+        return self._execution
+
+    @property
+    def finalized_during_run(self) -> frozenset:
+        """Events whose timestamps became permanent before termination."""
+        return self._finalized_during_run
+
+    def __getitem__(self, eid: EventId) -> Timestamp:
+        return self._ts[eid]
+
+    def __contains__(self, eid: EventId) -> bool:
+        return eid in self._ts
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    def items(self) -> Iterable[Tuple[EventId, Timestamp]]:
+        return self._ts.items()
+
+    def precedes(self, e: EventId, f: EventId) -> bool:
+        """Timestamp-based causality decision for two events."""
+        return self._ts[e].precedes(self._ts[f])
+
+    def concurrent(self, e: EventId, f: EventId) -> bool:
+        return e != f and not self.precedes(e, f) and not self.precedes(f, e)
+
+    # ------------------------------------------------------------------
+    def max_elements(self) -> int:
+        """Largest element count of any assigned timestamp (paper's metric)."""
+        return max((ts.n_elements for ts in self._ts.values()), default=0)
+
+    def mean_elements(self) -> float:
+        if not self._ts:
+            return 0.0
+        return sum(ts.n_elements for ts in self._ts.values()) / len(self._ts)
+
+    # ------------------------------------------------------------------
+    def validate_sampled(
+        self,
+        oracle: Optional[HappenedBeforeOracle] = None,
+        n_pairs: int = 10_000,
+        seed: int = 0,
+    ) -> ValidationReport:
+        """Validation over a random sample of event pairs.
+
+        Exhaustive validation is quadratic in the event count; for large
+        simulations this checks *n_pairs* uniformly random ordered pairs
+        instead.  The report's pair counts refer to the sample.
+        """
+        import random as _random
+
+        if oracle is None:
+            oracle = HappenedBeforeOracle(self._execution)
+        rng = _random.Random(seed)
+        ids = [ev.eid for ev in self._execution.all_events()]
+        if len(ids) < 2:
+            return self.validate(oracle)
+        false_neg = []
+        false_pos = []
+        n_ordered = 0
+        n_concurrent = 0
+        for _ in range(n_pairs):
+            a, b = rng.sample(ids, 2)
+            hb = oracle.happened_before(a, b)
+            claimed = self._ts[a].precedes(self._ts[b])
+            if hb and not claimed:
+                false_neg.append((a, b))
+            elif claimed and not hb:
+                false_pos.append((a, b))
+            if hb or oracle.happened_before(b, a):
+                n_ordered += 1
+            else:
+                n_concurrent += 1
+        return ValidationReport(
+            algorithm=self._algorithm.name,
+            n_events=len(ids),
+            n_ordered_pairs=n_ordered,
+            n_concurrent_pairs=n_concurrent,
+            false_negatives=tuple(false_neg),
+            false_positives=tuple(false_pos),
+        )
+
+    def validate(
+        self,
+        oracle: Optional[HappenedBeforeOracle] = None,
+        events: Optional[Sequence[EventId]] = None,
+    ) -> ValidationReport:
+        """Exhaustively compare timestamp order with true happened-before.
+
+        *events* restricts the check to a subset (e.g. a finalized cut);
+        defaults to every event in the execution.
+        """
+        if oracle is None:
+            oracle = HappenedBeforeOracle(self._execution)
+        ids = (
+            list(events)
+            if events is not None
+            else [ev.eid for ev in self._execution.all_events()]
+        )
+        false_neg: List[Tuple[EventId, EventId]] = []
+        false_pos: List[Tuple[EventId, EventId]] = []
+        n_ordered = 0
+        n_concurrent = 0
+        for i, e in enumerate(ids):
+            for f in ids[i + 1 :]:
+                for a, b in ((e, f), (f, e)):
+                    hb = oracle.happened_before(a, b)
+                    claimed = self._ts[a].precedes(self._ts[b])
+                    if hb and not claimed:
+                        false_neg.append((a, b))
+                    elif claimed and not hb:
+                        false_pos.append((a, b))
+                if oracle.happened_before(e, f) or oracle.happened_before(f, e):
+                    n_ordered += 1
+                else:
+                    n_concurrent += 1
+        return ValidationReport(
+            algorithm=self._algorithm.name,
+            n_events=len(ids),
+            n_ordered_pairs=n_ordered,
+            n_concurrent_pairs=n_concurrent,
+            false_negatives=tuple(false_neg),
+            false_positives=tuple(false_pos),
+        )
+
+
+def replay(
+    execution: Execution,
+    algorithms: Sequence[ClockAlgorithm],
+    finalize: bool = True,
+) -> List[TimestampAssignment]:
+    """Run *algorithms* over *execution* with instant control delivery.
+
+    When *finalize* is set (the default), termination finalization is applied
+    at the end so every event has a permanent timestamp; events finalized
+    only by that step are reported via
+    :attr:`TimestampAssignment.finalized_during_run` being smaller than the
+    full event set.
+    """
+    payloads: List[Dict[int, object]] = [dict() for _ in algorithms]
+    finalized: List[Set[EventId]] = [set() for _ in algorithms]
+
+    order = execution.delivery_order()
+    for ev in order:
+        for i, algo in enumerate(algorithms):
+            if ev.is_local:
+                algo.on_local(ev)
+            elif ev.is_send:
+                payloads[i][ev.msg_id] = algo.on_send(ev)  # type: ignore[index]
+            else:
+                payload = payloads[i].pop(ev.msg_id)  # type: ignore[arg-type]
+                controls = algo.on_receive(ev, payload)
+                for cm in controls:
+                    algo.on_control(cm.src, cm.dst, cm.payload)
+            finalized[i].update(algo.drain_newly_finalized())
+
+    results: List[TimestampAssignment] = []
+    for i, algo in enumerate(algorithms):
+        if finalize:
+            algo.finalize_at_termination()
+            algo.drain_newly_finalized()
+        ts: Dict[EventId, Timestamp] = {}
+        for ev in execution.all_events():
+            t = algo.timestamp(ev.eid)
+            if t is not None:
+                ts[ev.eid] = t
+        results.append(
+            TimestampAssignment(algo, execution, ts, finalized[i])
+        )
+    return results
+
+
+def replay_one(
+    execution: Execution, algorithm: ClockAlgorithm, finalize: bool = True
+) -> TimestampAssignment:
+    """Convenience wrapper for a single algorithm."""
+    return replay(execution, [algorithm], finalize=finalize)[0]

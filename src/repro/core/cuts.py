@@ -1,0 +1,153 @@
+"""Consistent cuts of an execution.
+
+A *cut* assigns to every process a prefix of its events; it is *consistent*
+when it is causally closed — no event in the cut causally depends on an event
+outside it.  Consistent cuts are the backbone of the paper's application
+story (Section 6): with inline timestamps, applications operate on the
+largest consistent cut that contains only events whose timestamps have been
+*finalized*, and that cut grows toward the full execution as timestamps
+become permanent.
+
+Cuts are represented as tuples of per-process event counts: ``cut[i] == k``
+means the first ``k`` events of process ``i`` are inside the cut.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Set, Tuple
+
+from repro.core.events import EventId
+from repro.core.happened_before import HappenedBeforeOracle
+
+#: A cut: entry ``i`` is the number of events of process ``i`` inside it.
+Cut = Tuple[int, ...]
+
+
+def empty_cut(n_processes: int) -> Cut:
+    """The cut containing no events."""
+    return (0,) * n_processes
+
+
+def full_cut(oracle: HappenedBeforeOracle) -> Cut:
+    """The cut containing every event of the oracle's execution."""
+    ex = oracle.execution
+    return tuple(len(ex.events_at(p)) for p in range(ex.n_processes))
+
+
+def events_in_cut(oracle: HappenedBeforeOracle, cut: Cut) -> Set[EventId]:
+    """The set of event ids inside *cut*."""
+    ex = oracle.execution
+    return {
+        ev.eid
+        for p in range(ex.n_processes)
+        for ev in ex.events_at(p)[: cut[p]]
+    }
+
+
+def is_consistent(oracle: HappenedBeforeOracle, cut: Cut) -> bool:
+    """Whether *cut* is causally closed.
+
+    Uses the vector-clock characterization: a cut is consistent iff, for each
+    process ``i`` with a nonempty prefix, the vector clock of its frontier
+    event is dominated by the cut vector itself.
+    """
+    ex = oracle.execution
+    if len(cut) != ex.n_processes:
+        raise ValueError("cut length must equal the number of processes")
+    for p in range(ex.n_processes):
+        k = cut[p]
+        if k < 0 or k > len(ex.events_at(p)):
+            raise ValueError(f"cut[{p}]={k} out of range for process {p}")
+        if k == 0:
+            continue
+        frontier = ex.events_at(p)[k - 1]
+        vc = oracle.vector_clock(frontier.eid)
+        if any(vc[q] > cut[q] for q in range(ex.n_processes)):
+            return False
+    return True
+
+
+def join(a: Cut, b: Cut) -> Cut:
+    """Pointwise max.  The join of two consistent cuts is consistent."""
+    return tuple(max(x, y) for x, y in zip(a, b, strict=True))
+
+
+def meet(a: Cut, b: Cut) -> Cut:
+    """Pointwise min.  The meet of two consistent cuts is consistent."""
+    return tuple(min(x, y) for x, y in zip(a, b, strict=True))
+
+
+def max_consistent_cut_within(
+    oracle: HappenedBeforeOracle,
+    allowed: Callable[[EventId], bool],
+) -> Cut:
+    """The largest consistent cut whose events all satisfy *allowed*.
+
+    This is the paper's Section-6 construction: "consider a cut of the system
+    that removes all events e such that timestamp_e = ⊥; when we remove event
+    e, we must also remove every event f with e -> f".  Concretely, start
+    from the longest per-process prefix of allowed events and repeatedly
+    shrink any process whose frontier event causally depends on a removed
+    event, until a fixpoint is reached.
+
+    The result is the unique maximum such cut (the set of consistent cuts
+    within an allowed downward-closed region forms a lattice).
+    """
+    ex = oracle.execution
+    n = ex.n_processes
+
+    cut = []
+    for p in range(n):
+        k = 0
+        for ev in ex.events_at(p):
+            if allowed(ev.eid):
+                k += 1
+            else:
+                break
+        cut.append(k)
+
+    changed = True
+    while changed:
+        changed = False
+        for p in range(n):
+            while cut[p] > 0:
+                frontier = ex.events_at(p)[cut[p] - 1]
+                vc = oracle.vector_clock(frontier.eid)
+                if any(vc[q] > cut[q] for q in range(n)):
+                    cut[p] -= 1
+                    changed = True
+                else:
+                    break
+    return tuple(cut)
+
+
+def cut_from_events(
+    oracle: HappenedBeforeOracle, events: Iterable[EventId]
+) -> Cut:
+    """The smallest consistent cut containing all of *events*.
+
+    Computed as the join of the causal-past closures of each event.
+    """
+    ex = oracle.execution
+    cut = [0] * ex.n_processes
+    for eid in events:
+        vc = oracle.vector_clock(eid)
+        for p in range(ex.n_processes):
+            if vc[p] > cut[p]:
+                cut[p] = vc[p]
+    return tuple(cut)
+
+
+def frontier(oracle: HappenedBeforeOracle, cut: Cut) -> Sequence[EventId]:
+    """The last event of each nonempty per-process prefix of *cut*."""
+    ex = oracle.execution
+    out = []
+    for p in range(ex.n_processes):
+        if cut[p] > 0:
+            out.append(ex.events_at(p)[cut[p] - 1].eid)
+    return out
+
+
+def cut_size(cut: Cut) -> int:
+    """Total number of events inside *cut*."""
+    return sum(cut)

@@ -1,0 +1,163 @@
+"""Event and message model for asynchronous message-passing executions.
+
+The paper studies an asynchronous system of ``n`` processes communicating
+over point-to-point channels.  Each process produces a totally ordered
+sequence of *events*; an event is a local step, the send of a message, or the
+receipt of a message.  This module defines the immutable value objects used
+everywhere else in the library:
+
+- :class:`EventKind` — local / send / receive.
+- :class:`EventId` — a ``(process, index)`` pair; ``index`` starts at 1,
+  matching the paper's convention that the first event at a process has
+  ``ctr = 1``.
+- :class:`Event` — an event together with its message context.
+- :class:`Message` — a message with identity, endpoints, and the events that
+  sent/received it.
+
+Events are deliberately *dumb data*: all semantics (happened-before, cuts,
+timestamps) live in :mod:`repro.core.execution`,
+:mod:`repro.core.happened_before`, and :mod:`repro.clocks`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Processes are identified by dense integer ids ``0 .. n-1``.
+ProcessId = int
+
+#: Messages are identified by dense integer ids in order of sending.
+MessageId = int
+
+
+class EventKind(enum.Enum):
+    """The three kinds of events in an asynchronous execution."""
+
+    LOCAL = "local"
+    SEND = "send"
+    RECEIVE = "receive"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventKind.{self.name}"
+
+
+@dataclass(frozen=True, order=True)
+class EventId:
+    """Identity of an event: the process it occurred on and its 1-based index.
+
+    ``EventId(j, x)`` is the paper's :math:`e_x^j` — the ``x``-th event at
+    process ``p_j``.  The ordering defined here (process-major) is only used
+    for deterministic iteration; it has no causal meaning.
+    """
+
+    proc: ProcessId
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.proc < 0:
+            raise ValueError(f"process id must be >= 0, got {self.proc}")
+        if self.index < 1:
+            raise ValueError(f"event index must be >= 1, got {self.index}")
+
+    def __str__(self) -> str:
+        return f"e{self.index}@p{self.proc}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message.
+
+    Attributes
+    ----------
+    msg_id:
+        Dense id assigned in send order (unique within an execution).
+    src, dst:
+        Sending and receiving process.
+    send_event:
+        The :class:`EventId` of the send.
+    recv_event:
+        The :class:`EventId` of the receive, or ``None`` while in flight.
+    """
+
+    msg_id: MessageId
+    src: ProcessId
+    dst: ProcessId
+    send_event: EventId
+    recv_event: Optional[EventId] = None
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError("self-messages are not part of the model")
+        if self.send_event.proc != self.src:
+            raise ValueError("send event must occur at the source process")
+        if self.recv_event is not None and self.recv_event.proc != self.dst:
+            raise ValueError("receive event must occur at the destination")
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the message has been received."""
+        return self.recv_event is not None
+
+    def with_receive(self, recv_event: EventId) -> "Message":
+        """Return a copy of this message marked as received at *recv_event*."""
+        if self.recv_event is not None:
+            raise ValueError(f"message {self.msg_id} already delivered")
+        return Message(self.msg_id, self.src, self.dst, self.send_event, recv_event)
+
+
+@dataclass(frozen=True)
+class Event:
+    """An event in an execution.
+
+    For ``SEND`` and ``RECEIVE`` events, :attr:`msg_id` identifies the message
+    involved; for ``LOCAL`` events it is ``None``.  :attr:`peer` is the other
+    endpoint of that message (the destination for a send, the source for a
+    receive), kept denormalized because clock algorithms consult it on every
+    step.
+    """
+
+    eid: EventId
+    kind: EventKind
+    msg_id: Optional[MessageId] = None
+    peer: Optional[ProcessId] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is EventKind.LOCAL:
+            if self.msg_id is not None or self.peer is not None:
+                raise ValueError("local events carry no message")
+        else:
+            if self.msg_id is None or self.peer is None:
+                raise ValueError(f"{self.kind.value} events need msg_id and peer")
+            if self.peer == self.eid.proc:
+                raise ValueError("peer must differ from the event's process")
+
+    @property
+    def proc(self) -> ProcessId:
+        """The process the event occurred on."""
+        return self.eid.proc
+
+    @property
+    def index(self) -> int:
+        """The 1-based index of the event at its process (the paper's ctr)."""
+        return self.eid.index
+
+    @property
+    def is_send(self) -> bool:
+        return self.kind is EventKind.SEND
+
+    @property
+    def is_receive(self) -> bool:
+        return self.kind is EventKind.RECEIVE
+
+    @property
+    def is_local(self) -> bool:
+        return self.kind is EventKind.LOCAL
+
+    def __str__(self) -> str:
+        tag = {EventKind.LOCAL: "L", EventKind.SEND: "S", EventKind.RECEIVE: "R"}[
+            self.kind
+        ]
+        extra = "" if self.msg_id is None else f"(m{self.msg_id})"
+        return f"{self.eid}:{tag}{extra}"

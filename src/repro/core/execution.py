@@ -1,0 +1,302 @@
+"""Executions: validated, append-only records of distributed computations.
+
+An :class:`Execution` is the ground-truth object the whole library revolves
+around.  It records, for every process, the totally ordered list of events
+that occurred there, together with the message-matching between sends and
+receives.  Both the discrete-event simulator (:mod:`repro.sim`) and the
+hand-built adversarial constructions (:mod:`repro.lowerbounds`) produce
+executions; clock algorithms are replayed over them, and the happened-before
+oracle (:mod:`repro.core.happened_before`) derives causality from them.
+
+Executions are built through the mutable :class:`ExecutionBuilder` and then
+frozen; a frozen :class:`Execution` is immutable and hashable by identity.
+
+Validation enforced by the builder:
+
+- events at a process are appended with consecutive indices 1, 2, 3, …;
+- a receive must name a previously sent, not yet delivered message addressed
+  to the receiving process;
+- if a :class:`~repro.topology.graph.CommunicationGraph` is supplied, every
+  message must travel along an edge of the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.core.events import (
+    Event,
+    EventId,
+    EventKind,
+    Message,
+    MessageId,
+    ProcessId,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.topology.graph import CommunicationGraph
+
+
+class ExecutionError(ValueError):
+    """Raised when an execution would violate the message-passing model."""
+
+
+class Execution:
+    """An immutable, validated record of a distributed computation.
+
+    Instances are created via :class:`ExecutionBuilder` (or the simulator) —
+    not directly.  The class exposes read-only views over events, messages,
+    and per-process sequences.
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        events_by_proc: Sequence[Sequence[Event]],
+        messages: Sequence[Message],
+        graph: Optional["CommunicationGraph"] = None,
+    ) -> None:
+        self._n = n_processes
+        self._events_by_proc: Tuple[Tuple[Event, ...], ...] = tuple(
+            tuple(evts) for evts in events_by_proc
+        )
+        self._messages: Tuple[Message, ...] = tuple(messages)
+        self._graph = graph
+        self._by_id: Dict[EventId, Event] = {
+            ev.eid: ev for evts in self._events_by_proc for ev in evts
+        }
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_processes(self) -> int:
+        """Number of processes in the system (some may have no events)."""
+        return self._n
+
+    @property
+    def graph(self) -> Optional["CommunicationGraph"]:
+        """The communication topology, if one was declared."""
+        return self._graph
+
+    @property
+    def messages(self) -> Tuple[Message, ...]:
+        """All messages, in send order."""
+        return self._messages
+
+    def events_at(self, proc: ProcessId) -> Tuple[Event, ...]:
+        """The totally ordered events of process *proc*."""
+        return self._events_by_proc[proc]
+
+    def all_events(self) -> Iterator[Event]:
+        """Iterate over all events, process-major, index order within."""
+        for evts in self._events_by_proc:
+            yield from evts
+
+    def event(self, eid: EventId) -> Event:
+        """Look up an event by id; raises ``KeyError`` if absent."""
+        return self._by_id[eid]
+
+    def __contains__(self, eid: EventId) -> bool:
+        return eid in self._by_id
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    @property
+    def n_events(self) -> int:
+        """Total number of events across all processes."""
+        return len(self._by_id)
+
+    def message(self, msg_id: MessageId) -> Message:
+        """Look up a message by id."""
+        return self._messages[msg_id]
+
+    def max_events_per_process(self) -> int:
+        """The paper's ``K``: the maximum number of events at any process."""
+        if not self._events_by_proc:
+            return 0
+        return max(len(evts) for evts in self._events_by_proc)
+
+    # ------------------------------------------------------------------
+    # structural queries used by clocks and applications
+    # ------------------------------------------------------------------
+    def send_of(self, recv: Event) -> Event:
+        """Given a receive event, return the matching send event."""
+        if not recv.is_receive:
+            raise ValueError(f"{recv} is not a receive event")
+        assert recv.msg_id is not None
+        return self._by_id[self._messages[recv.msg_id].send_event]
+
+    def receive_of(self, send: Event) -> Optional[Event]:
+        """Given a send event, return the matching receive (or ``None``)."""
+        if not send.is_send:
+            raise ValueError(f"{send} is not a send event")
+        assert send.msg_id is not None
+        recv_eid = self._messages[send.msg_id].recv_event
+        return None if recv_eid is None else self._by_id[recv_eid]
+
+    def undelivered_messages(self) -> List[Message]:
+        """Messages sent but never received in this execution."""
+        return [m for m in self._messages if not m.delivered]
+
+    def delivery_order(self) -> List[Event]:
+        """A total order of all events consistent with happened-before.
+
+        Returns a topological order obtained by a deterministic merge: events
+        are emitted process-major but a receive is deferred until its send has
+        been emitted.  Useful for replaying clock algorithms over hand-built
+        executions.
+        """
+        emitted: set[EventId] = set()
+        cursors = [0] * self._n
+        out: List[Event] = []
+        total = self.n_events
+        while len(out) < total:
+            progressed = False
+            for proc in range(self._n):
+                while cursors[proc] < len(self._events_by_proc[proc]):
+                    ev = self._events_by_proc[proc][cursors[proc]]
+                    if ev.is_receive:
+                        send_eid = self._messages[ev.msg_id].send_event  # type: ignore[index]
+                        if send_eid not in emitted:
+                            break
+                    out.append(ev)
+                    emitted.add(ev.eid)
+                    cursors[proc] += 1
+                    progressed = True
+            if not progressed:
+                raise ExecutionError(
+                    "execution is not causally consistent: "
+                    "a receive precedes its send"
+                )
+        return out
+
+    def __repr__(self) -> str:
+        per_proc = ",".join(str(len(evts)) for evts in self._events_by_proc)
+        return (
+            f"Execution(n={self._n}, events=[{per_proc}], "
+            f"messages={len(self._messages)})"
+        )
+
+
+class ExecutionBuilder:
+    """Mutable builder that validates the message-passing model step by step.
+
+    Typical use::
+
+        b = ExecutionBuilder(n_processes=3)
+        m = b.send(0, 1)            # p0 sends to p1
+        b.local(2)                  # p2 takes a local step
+        b.receive(1, m)             # p1 receives p0's message
+        execution = b.freeze()
+
+    The builder hands out :class:`~repro.core.events.MessageId` values from
+    :meth:`send`; :meth:`receive` consumes them.  Messages on a channel are
+    *not* forced to be FIFO — the model (and the paper) allows arbitrary
+    per-channel reordering.
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        graph: Optional["CommunicationGraph"] = None,
+    ) -> None:
+        if n_processes < 1:
+            raise ExecutionError("need at least one process")
+        if graph is not None and graph.n_vertices != n_processes:
+            raise ExecutionError(
+                f"graph has {graph.n_vertices} vertices but "
+                f"{n_processes} processes were requested"
+            )
+        self._n = n_processes
+        self._graph = graph
+        self._events: List[List[Event]] = [[] for _ in range(n_processes)]
+        self._messages: List[Message] = []
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._frozen:
+            raise ExecutionError("builder already frozen")
+
+    def _next_eid(self, proc: ProcessId) -> EventId:
+        if not 0 <= proc < self._n:
+            raise ExecutionError(f"process {proc} out of range [0, {self._n})")
+        return EventId(proc, len(self._events[proc]) + 1)
+
+    def local(self, proc: ProcessId) -> Event:
+        """Append a local (internal) event at *proc*."""
+        self._check_open()
+        ev = Event(self._next_eid(proc), EventKind.LOCAL)
+        self._events[proc].append(ev)
+        return ev
+
+    def send(self, src: ProcessId, dst: ProcessId) -> MessageId:
+        """Append a send event at *src* addressed to *dst*; returns the id."""
+        self._check_open()
+        if not 0 <= dst < self._n:
+            raise ExecutionError(f"destination {dst} out of range [0, {self._n})")
+        if src == dst:
+            raise ExecutionError("self-messages are not part of the model")
+        if self._graph is not None and not self._graph.has_edge(src, dst):
+            raise ExecutionError(
+                f"no channel between p{src} and p{dst} in the topology"
+            )
+        eid = self._next_eid(src)
+        msg_id = len(self._messages)
+        ev = Event(eid, EventKind.SEND, msg_id=msg_id, peer=dst)
+        self._events[src].append(ev)
+        self._messages.append(Message(msg_id, src, dst, eid))
+        return msg_id
+
+    def receive(self, proc: ProcessId, msg_id: MessageId) -> Event:
+        """Append the receive of message *msg_id* at *proc*."""
+        self._check_open()
+        if not 0 <= msg_id < len(self._messages):
+            raise ExecutionError(f"unknown message id {msg_id}")
+        msg = self._messages[msg_id]
+        if msg.delivered:
+            raise ExecutionError(f"message {msg_id} already delivered")
+        if msg.dst != proc:
+            raise ExecutionError(
+                f"message {msg_id} is addressed to p{msg.dst}, not p{proc}"
+            )
+        eid = self._next_eid(proc)
+        ev = Event(eid, EventKind.RECEIVE, msg_id=msg_id, peer=msg.src)
+        self._events[proc].append(ev)
+        self._messages[msg_id] = msg.with_receive(eid)
+        return ev
+
+    def send_and_receive(self, src: ProcessId, dst: ProcessId) -> Tuple[Event, Event]:
+        """Convenience: send from *src* to *dst* and deliver it immediately."""
+        msg_id = self.send(src, dst)
+        send_ev = self._events[src][-1]
+        recv_ev = self.receive(dst, msg_id)
+        return send_ev, recv_ev
+
+    @property
+    def n_processes(self) -> int:
+        return self._n
+
+    def events_so_far(self, proc: ProcessId) -> int:
+        """Number of events appended at *proc* so far."""
+        return len(self._events[proc])
+
+    def last_event(self, proc: ProcessId) -> Event:
+        """The most recently appended event at *proc*."""
+        if not self._events[proc]:
+            raise ExecutionError(f"process {proc} has no events yet")
+        return self._events[proc][-1]
+
+    def message(self, msg_id: MessageId) -> Message:
+        """The (possibly still undelivered) message with id *msg_id*."""
+        if not 0 <= msg_id < len(self._messages):
+            raise ExecutionError(f"unknown message id {msg_id}")
+        return self._messages[msg_id]
+
+    def freeze(self) -> Execution:
+        """Finish building and return the immutable execution."""
+        self._check_open()
+        self._frozen = True
+        return Execution(self._n, self._events, self._messages, self._graph)

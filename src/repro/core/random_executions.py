@@ -1,0 +1,90 @@
+"""Random execution generation for property-based testing and fuzzing.
+
+Generates executions directly (no virtual-time simulation): at each step
+the generator either delivers a random in-flight message, performs a local
+event, or sends along a random edge of the communication graph.  Every
+interleaving produced this way is a valid asynchronous execution; messages
+may remain undelivered, and per-channel ordering is deliberately *not* FIFO
+— the paper's model allows arbitrary reordering and the clock algorithms
+must tolerate it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.core.execution import Execution, ExecutionBuilder
+from repro.topology.graph import CommunicationGraph
+
+
+def random_execution(
+    graph: CommunicationGraph,
+    rng: random.Random,
+    steps: int = 30,
+    p_deliver: float = 0.45,
+    p_local: float = 0.15,
+    deliver_all: bool = False,
+    fifo: bool = False,
+) -> Execution:
+    """A random execution over *graph*.
+
+    Parameters
+    ----------
+    steps:
+        Number of generation steps (each produces one event).
+    p_deliver:
+        Probability a step delivers a random in-flight message (when any).
+    p_local:
+        Probability a step is a local event (otherwise a send on a random
+        edge; graphs with no edges only produce local events).
+    deliver_all:
+        Deliver every remaining in-flight message at the end, in random
+        order (useful when full finalization is desired).
+    fifo:
+        Enforce per-directed-channel FIFO delivery: a delivery step picks a
+        random channel with in-flight messages and delivers its *oldest*
+        one.  Needed by schemes that assume FIFO channels (e.g.
+        :class:`~repro.clocks.vector_sk.SKVectorClock`).
+    """
+    if steps < 0:
+        raise ValueError("steps must be >= 0")
+    builder = ExecutionBuilder(graph.n_vertices, graph=graph)
+    edges = list(graph.edges)
+    in_flight: List[Tuple[int, int, int]] = []  # (msg_id, src, dst)
+
+    def deliver_one() -> None:
+        if fifo:
+            channels = sorted({(s, d) for _m, s, d in in_flight})
+            src, dst = channels[rng.randrange(len(channels))]
+            idx = next(
+                i
+                for i, (_m, s, d) in enumerate(in_flight)
+                if (s, d) == (src, dst)
+            )
+        else:
+            idx = rng.randrange(len(in_flight))
+        msg_id, _src, dst = in_flight.pop(idx)
+        builder.receive(dst, msg_id)
+
+    for _ in range(steps):
+        roll = rng.random()
+        if in_flight and roll < p_deliver:
+            deliver_one()
+        elif not edges or roll < p_deliver + p_local:
+            builder.local(rng.randrange(graph.n_vertices))
+        else:
+            u, v = edges[rng.randrange(len(edges))]
+            if rng.random() < 0.5:
+                u, v = v, u
+            msg_id = builder.send(u, v)
+            in_flight.append((msg_id, u, v))
+    if deliver_all:
+        if fifo:
+            while in_flight:
+                deliver_one()
+        else:
+            rng.shuffle(in_flight)
+            for msg_id, _src, dst in in_flight:
+                builder.receive(dst, msg_id)
+    return builder.freeze()

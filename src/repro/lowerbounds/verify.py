@@ -1,0 +1,127 @@
+"""Verification of online vector-timestamp assignments against causality.
+
+An online scheme is *valid* for an execution when (a) distinct events get
+distinct vectors and (b) for all events, ``e -> f`` iff
+``vec(e) < vec(f)`` under the standard vector-clock comparison.  The lower
+bounds of Section 2 say short schemes cannot be valid on all executions;
+the adversaries in :mod:`repro.lowerbounds.star_adversary` and
+:mod:`repro.lowerbounds.flooding` construct the refuting execution, and this
+module provides the checker that extracts a concrete violation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.clocks.base import vector_lt
+from repro.core.events import EventId
+from repro.core.execution import Execution
+from repro.core.happened_before import HappenedBeforeOracle
+
+
+class ViolationKind(enum.Enum):
+    """How an assignment can fail the Section-2 validity requirement."""
+
+    #: concurrent events whose vectors are ordered
+    FALSE_POSITIVE = "false_positive"
+    #: causally ordered events whose vectors are not
+    FALSE_NEGATIVE = "false_negative"
+    #: distinct events sharing a vector
+    DUPLICATE = "duplicate"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A concrete counterexample pair with its vectors."""
+
+    kind: ViolationKind
+    e: EventId
+    f: EventId
+    vec_e: Tuple[float, ...]
+    vec_f: Tuple[float, ...]
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind.value}: {self.e} (vec {self.vec_e}) vs "
+            f"{self.f} (vec {self.vec_f})"
+        )
+
+
+@dataclass(frozen=True)
+class VectorAssignmentReport:
+    """Full validity report for one assignment over one execution."""
+
+    n_events: int
+    vector_length: int
+    violations: Tuple[Violation, ...]
+
+    @property
+    def valid(self) -> bool:
+        return not self.violations
+
+    def first(self, kind: Optional[ViolationKind] = None) -> Optional[Violation]:
+        for v in self.violations:
+            if kind is None or v.kind is kind:
+                return v
+        return None
+
+
+def check_vector_assignment(
+    execution: Execution,
+    vectors: Dict[EventId, Tuple[float, ...]],
+    oracle: Optional[HappenedBeforeOracle] = None,
+    stop_at_first: bool = False,
+) -> VectorAssignmentReport:
+    """Exhaustively verify an online vector assignment.
+
+    *vectors* must cover every event of the execution.  Violations are
+    reported in a deterministic order (event-id major).
+    """
+    if oracle is None:
+        oracle = HappenedBeforeOracle(execution)
+    ids = [ev.eid for ev in execution.all_events()]
+    missing = [e for e in ids if e not in vectors]
+    if missing:
+        raise ValueError(f"assignment missing vectors for {missing[:3]}...")
+    lengths = {len(vectors[e]) for e in ids}
+    if len(lengths) > 1:
+        raise ValueError(f"inconsistent vector lengths: {sorted(lengths)}")
+    length = lengths.pop() if lengths else 0
+
+    violations: List[Violation] = []
+    for i, e in enumerate(ids):
+        for f in ids[i + 1 :]:
+            ve, vf = vectors[e], vectors[f]
+            if tuple(ve) == tuple(vf):
+                violations.append(
+                    Violation(ViolationKind.DUPLICATE, e, f, tuple(ve), tuple(vf))
+                )
+                if stop_at_first:
+                    return VectorAssignmentReport(
+                        len(ids), length, tuple(violations)
+                    )
+                continue
+            for a, b, va, vb in ((e, f, ve, vf), (f, e, vf, ve)):
+                hb = oracle.happened_before(a, b)
+                claimed = vector_lt(va, vb)
+                if hb and not claimed:
+                    violations.append(
+                        Violation(
+                            ViolationKind.FALSE_NEGATIVE, a, b,
+                            tuple(va), tuple(vb),
+                        )
+                    )
+                elif claimed and not hb:
+                    violations.append(
+                        Violation(
+                            ViolationKind.FALSE_POSITIVE, a, b,
+                            tuple(va), tuple(vb),
+                        )
+                    )
+                if stop_at_first and violations:
+                    return VectorAssignmentReport(
+                        len(ids), length, tuple(violations)
+                    )
+    return VectorAssignmentReport(len(ids), length, tuple(violations))

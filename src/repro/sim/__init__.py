@@ -1,0 +1,46 @@
+"""Deterministic discrete-event simulation of asynchronous message passing."""
+
+from repro.sim.network import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    Network,
+    PerChannelDelay,
+    UniformDelay,
+)
+from repro.sim.adversary import FloodTiming, slow_victim_flood
+from repro.sim.runner import (
+    AlgorithmStats,
+    ControlTransport,
+    Simulation,
+    SimulationResult,
+)
+from repro.sim.scheduler import EventScheduler
+from repro.sim.workload import (
+    BroadcastWorkload,
+    ClientServerWorkload,
+    PingPongWorkload,
+    UniformWorkload,
+    Workload,
+)
+
+__all__ = [
+    "FloodTiming",
+    "slow_victim_flood",
+    "ConstantDelay",
+    "DelayModel",
+    "ExponentialDelay",
+    "Network",
+    "PerChannelDelay",
+    "UniformDelay",
+    "AlgorithmStats",
+    "ControlTransport",
+    "Simulation",
+    "SimulationResult",
+    "EventScheduler",
+    "BroadcastWorkload",
+    "ClientServerWorkload",
+    "PingPongWorkload",
+    "UniformWorkload",
+    "Workload",
+]

@@ -1,0 +1,150 @@
+"""Channel delay models and the simulated network.
+
+The paper's system model places no bound on message delays and does not
+require FIFO application channels; the *control* channels used by the inline
+algorithms, however, must be FIFO (Figure 1).  The :class:`Network` honours
+both: application sends are delivered after a sampled delay with no ordering
+guarantee, while FIFO channels clamp each delivery to occur no earlier than
+the previous delivery on the same directed channel.
+
+Delay models are pluggable; the adversarial constructions in
+:mod:`repro.lowerbounds` use :class:`PerChannelDelay` to make one process's
+channels arbitrarily slow (the "slow channel" trick of Lemmas 2.3/2.4).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.events import ProcessId
+from repro.sim.scheduler import EventScheduler
+
+
+class DelayModel(abc.ABC):
+    """Samples a one-way delay for a message on a directed channel."""
+
+    @abc.abstractmethod
+    def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
+        """A strictly positive delay for one message from *src* to *dst*."""
+
+
+class ConstantDelay(DelayModel):
+    """Every message takes exactly *delay* time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        self.delay = delay
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
+        return self.delay
+
+
+class UniformDelay(DelayModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if not 0 < low <= high:
+            raise ValueError("need 0 < low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class ExponentialDelay(DelayModel):
+    """Heavy-ish tail: ``epsilon + Exp(mean)`` delays."""
+
+    def __init__(self, mean: float = 1.0, epsilon: float = 1e-3) -> None:
+        if mean <= 0 or epsilon <= 0:
+            raise ValueError("mean and epsilon must be positive")
+        self.mean = mean
+        self.epsilon = epsilon
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
+        return self.epsilon + rng.expovariate(1.0 / self.mean)
+
+
+class PerChannelDelay(DelayModel):
+    """Channel-specific overrides on top of a default model.
+
+    Overrides are keyed by directed pair.  Used by the lower-bound
+    adversaries to slow down every channel of a chosen victim process.
+    """
+
+    def __init__(
+        self,
+        default: DelayModel,
+        overrides: Optional[Dict[Tuple[ProcessId, ProcessId], DelayModel]] = None,
+    ) -> None:
+        self.default = default
+        self.overrides = dict(overrides or {})
+
+    def set_channel(
+        self, src: ProcessId, dst: ProcessId, model: DelayModel
+    ) -> None:
+        self.overrides[(src, dst)] = model
+
+    def slow_down_process(self, victim: ProcessId, n: int, delay: float) -> None:
+        """Make every channel to/from *victim* take *delay* time units."""
+        slow = ConstantDelay(delay)
+        for other in range(n):
+            if other != victim:
+                self.overrides[(victim, other)] = slow
+                self.overrides[(other, victim)] = slow
+
+    def sample(self, src: ProcessId, dst: ProcessId, rng: random.Random) -> float:
+        model = self.overrides.get((src, dst), self.default)
+        return model.sample(src, dst, rng)
+
+
+class Network:
+    """Delivers payloads between processes over the scheduler.
+
+    ``transmit`` samples a delay and schedules the delivery callback.  FIFO
+    channels keep a per-directed-pair high-water mark and never deliver
+    earlier than a previously scheduled delivery on the same channel.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        delay_model: DelayModel,
+        rng: random.Random,
+    ) -> None:
+        self._scheduler = scheduler
+        self._delay_model = delay_model
+        self._rng = rng
+        self._fifo_watermark: Dict[Tuple[ProcessId, ProcessId], float] = {}
+        self._messages_sent = 0
+
+    @property
+    def messages_sent(self) -> int:
+        return self._messages_sent
+
+    def transmit(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        deliver: Callable[[], None],
+        fifo: bool = False,
+        delay_model: Optional[DelayModel] = None,
+    ) -> float:
+        """Send; returns the scheduled delivery time."""
+        model = delay_model or self._delay_model
+        delay = model.sample(src, dst, self._rng)
+        if delay <= 0:
+            raise ValueError("delay models must produce positive delays")
+        when = self._scheduler.now + delay
+        if fifo:
+            key = (src, dst)
+            floor = self._fifo_watermark.get(key, 0.0)
+            if when < floor:
+                when = floor + 1e-9
+            self._fifo_watermark[key] = when
+        self._scheduler.at(when, deliver)
+        self._messages_sent += 1
+        return when

@@ -1,0 +1,339 @@
+"""The simulation runner: executions + clocks + control transport + timing.
+
+:class:`Simulation` glues everything together.  A workload generates local
+and send actions; the runner appends the corresponding events to an
+:class:`~repro.core.execution.ExecutionBuilder`, drives every attached
+:class:`~repro.clocks.base.ClockAlgorithm` through its hooks, transports
+application payloads and control messages over the simulated
+:class:`~repro.sim.network.Network`, and records for every event both its
+occurrence time and — per algorithm — the virtual time at which its
+timestamp became permanent.
+
+Control transport policies (paper Section 3.2 discusses both):
+
+- ``EAGER`` — each control message travels on a dedicated FIFO control
+  channel with its own delay model (the default);
+- ``PIGGYBACK`` — control payloads wait at the emitting process and ride on
+  the *next application message* to their destination.  Cheaper, but
+  finalization is delayed until such a message happens to be sent (the
+  trade-off the paper points out), and some controls may never be
+  transported — termination finalization then completes them.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.clocks.base import ClockAlgorithm, ControlMessage
+from repro.clocks.replay import TimestampAssignment
+from repro.core.events import Event, EventId, MessageId, ProcessId
+from repro.core.execution import Execution, ExecutionBuilder
+from repro.sim.network import DelayModel, Network, UniformDelay
+from repro.sim.scheduler import EventScheduler
+from repro.sim.workload import Workload
+from repro.topology.graph import CommunicationGraph
+
+
+class ControlTransport(enum.Enum):
+    """How inline-algorithm control messages reach their destination."""
+
+    EAGER = "eager"
+    PIGGYBACK = "piggyback"
+
+
+@dataclass
+class AlgorithmStats:
+    """Per-algorithm communication accounting for one simulation run."""
+
+    app_payload_elements: int = 0
+    control_messages: int = 0
+    control_elements: int = 0
+
+    def total_elements(self) -> int:
+        return self.app_payload_elements + self.control_elements
+
+
+@dataclass
+class SimulationResult:
+    """Everything observable from one simulated run."""
+
+    execution: Execution
+    graph: CommunicationGraph
+    duration: float
+    event_times: Dict[EventId, float]
+    assignments: Dict[str, TimestampAssignment]
+    finalization_times: Dict[str, Dict[EventId, float]]
+    stats: Dict[str, AlgorithmStats]
+    app_messages: int
+    dropped_app_messages: int = 0
+    dropped_control_messages: int = 0
+
+    def finalization_latencies(self, name: str) -> Dict[EventId, float]:
+        """Virtual-time lag from event occurrence to a permanent timestamp.
+
+        Only events finalized *during* the run appear; events completed by
+        termination finalization have no in-run finalization time.
+        """
+        out: Dict[EventId, float] = {}
+        for eid, t_final in self.finalization_times[name].items():
+            out[eid] = t_final - self.event_times[eid]
+        return out
+
+    def fraction_finalized_during_run(self, name: str) -> float:
+        total = self.execution.n_events
+        if total == 0:
+            return 1.0
+        return len(self.finalization_times[name]) / total
+
+
+class Simulation:
+    """A deterministic discrete-event simulation of the paper's system model.
+
+    Parameters
+    ----------
+    graph:
+        Communication topology; sends are validated against it.
+    seed:
+        Seed for the run's private RNG — identical seeds replay identically.
+    clocks:
+        Algorithms observing the run, keyed by a display name.  They all see
+        exactly the same execution, making comparisons apples-to-apples.
+    delay_model / control_delay_model:
+        One-way delay distributions for application and control messages
+        (control defaults to the application model).
+    control_transport:
+        ``EAGER`` dedicated FIFO channels or ``PIGGYBACK`` on app messages.
+    fifo_app_channels:
+        Force per-channel FIFO delivery of application messages (the model
+        default is non-FIFO, which the paper allows; some baselines such as
+        :class:`~repro.clocks.vector_sk.SKVectorClock` require FIFO).
+    app_loss_rate / control_loss_rate:
+        Failure injection: each application/control message is independently
+        dropped with this probability.  A dropped application message's
+        send event still occurs (the paper's model permits messages that
+        are never received); a dropped control message delays finalization
+        until termination flushing.  Incompatible with FIFO-requiring
+        baselines like SK (a lost diff is an unfillable gap).
+    """
+
+    def __init__(
+        self,
+        graph: CommunicationGraph,
+        seed: int = 0,
+        clocks: Optional[Mapping[str, ClockAlgorithm]] = None,
+        delay_model: Optional[DelayModel] = None,
+        control_delay_model: Optional[DelayModel] = None,
+        control_transport: ControlTransport = ControlTransport.EAGER,
+        fifo_app_channels: bool = False,
+        app_loss_rate: float = 0.0,
+        control_loss_rate: float = 0.0,
+    ) -> None:
+        self._graph = graph
+        self._seed = seed
+        self._clock_map: Dict[str, ClockAlgorithm] = dict(clocks or {})
+        for name, algo in self._clock_map.items():
+            if algo.n_processes != graph.n_vertices:
+                raise ValueError(
+                    f"clock {name!r} built for {algo.n_processes} processes, "
+                    f"graph has {graph.n_vertices}"
+                )
+        self._delay_model = delay_model or UniformDelay(0.5, 1.5)
+        self._control_delay_model = control_delay_model or self._delay_model
+        self._transport = control_transport
+        self._fifo_app = fifo_app_channels
+        if not 0.0 <= app_loss_rate < 1.0 or not 0.0 <= control_loss_rate < 1.0:
+            raise ValueError("loss rates must be in [0, 1)")
+        self._app_loss = app_loss_rate
+        self._control_loss = control_loss_rate
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # SimHandle surface (used by workloads)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> CommunicationGraph:
+        return self._graph
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    @property
+    def now(self) -> float:
+        return self._scheduler.now
+
+    def schedule(self, delay: float, fn) -> None:
+        self._scheduler.after(delay, fn)
+
+    def do_local(self, proc: ProcessId) -> Event:
+        """Perform a local event at *proc* now."""
+        ev = self._builder.local(proc)
+        self._event_times[ev.eid] = self.now
+        for i, algo in enumerate(self._algos):
+            algo.on_local(ev)
+            self._drain(i)
+        return ev
+
+    def do_send(self, src: ProcessId, dst: ProcessId) -> Event:
+        """Send an application message from *src* to *dst* now."""
+        msg_id = self._builder.send(src, dst)
+        ev = self._builder.last_event(src)
+        self._event_times[ev.eid] = self.now
+        piggyback: List[Optional[List[ControlMessage]]] = []
+        for i, algo in enumerate(self._algos):
+            payload = algo.on_send(ev)
+            self._payloads[i][msg_id] = payload
+            self._stats[i].app_payload_elements += algo.payload_elements(payload)
+            self._drain(i)
+            if self._transport is ControlTransport.PIGGYBACK:
+                pending = self._pending_controls[i].pop((src, dst), None)
+                piggyback.append(pending)
+            else:
+                piggyback.append(None)
+        if self._app_loss > 0.0 and self._rng.random() < self._app_loss:
+            self._dropped_app += 1
+        else:
+            self._network.transmit(
+                src,
+                dst,
+                lambda: self._deliver(msg_id, piggyback),
+                fifo=self._fifo_app,
+            )
+        return ev
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _deliver(
+        self,
+        msg_id: MessageId,
+        piggyback: Sequence[Optional[List[ControlMessage]]],
+    ) -> None:
+        msg = self._builder.message(msg_id)
+        recv = self._builder.receive(msg.dst, msg_id)
+        self._event_times[recv.eid] = self.now
+        for i, algo in enumerate(self._algos):
+            payload = self._payloads[i].pop(msg_id)
+            controls = algo.on_receive(recv, payload)
+            self._drain(i)
+            for cm in controls:
+                self._emit_control(i, cm)
+            if piggyback[i]:
+                for cm in piggyback[i]:
+                    self._stats[i].control_messages += 1
+                    self._stats[i].control_elements += algo.payload_elements(
+                        cm.payload
+                    )
+                    algo.on_control(cm.src, cm.dst, cm.payload)
+                self._drain(i)
+        self._workload.on_deliver(self, self._builder.message(msg_id), recv)
+
+    def _emit_control(self, algo_idx: int, cm: ControlMessage) -> None:
+        if self._transport is ControlTransport.PIGGYBACK:
+            self._pending_controls[algo_idx].setdefault(
+                (cm.src, cm.dst), []
+            ).append(cm)
+            return
+        algo = self._algos[algo_idx]
+        self._stats[algo_idx].control_messages += 1
+        self._stats[algo_idx].control_elements += algo.payload_elements(cm.payload)
+        if self._control_loss > 0.0 and self._rng.random() < self._control_loss:
+            self._dropped_control += 1
+            return
+
+        def deliver_control() -> None:
+            algo.on_control(cm.src, cm.dst, cm.payload)
+            self._drain(algo_idx)
+
+        self._network.transmit(
+            cm.src,
+            cm.dst,
+            deliver_control,
+            fifo=True,
+            delay_model=self._control_delay_model,
+        )
+
+    def _drain(self, algo_idx: int) -> None:
+        for eid in self._algos[algo_idx].drain_newly_finalized():
+            self._finalization_times[algo_idx][eid] = self.now
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workload: Workload,
+        max_time: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        finalize: bool = True,
+    ) -> SimulationResult:
+        """Run *workload* to completion and return the observed result.
+
+        A :class:`Simulation` instance is single-use: rerunning requires a
+        fresh instance (clock algorithms accumulate state).
+        """
+        if self._ran:
+            raise RuntimeError("Simulation instances are single-use")
+        self._ran = True
+
+        self._rng = random.Random(self._seed)
+        self._scheduler = EventScheduler()
+        self._network = Network(self._scheduler, self._delay_model, self._rng)
+        self._builder = ExecutionBuilder(self._graph.n_vertices, graph=self._graph)
+        self._algos: List[ClockAlgorithm] = list(self._clock_map.values())
+        self._names: List[str] = list(self._clock_map.keys())
+        self._payloads: List[Dict[MessageId, Any]] = [
+            dict() for _ in self._algos
+        ]
+        self._pending_controls: List[
+            Dict[Tuple[ProcessId, ProcessId], List[ControlMessage]]
+        ] = [dict() for _ in self._algos]
+        self._stats: List[AlgorithmStats] = [
+            AlgorithmStats() for _ in self._algos
+        ]
+        self._event_times: Dict[EventId, float] = {}
+        self._finalization_times: List[Dict[EventId, float]] = [
+            dict() for _ in self._algos
+        ]
+        self._dropped_app = 0
+        self._dropped_control = 0
+        self._workload = workload
+
+        workload.setup(self)
+        self._scheduler.run(max_time=max_time, max_steps=max_steps)
+        duration = self._scheduler.now
+        execution = self._builder.freeze()
+
+        assignments: Dict[str, TimestampAssignment] = {}
+        for i, (name, algo) in enumerate(zip(self._names, self._algos)):
+            finalized_during_run = set(self._finalization_times[i])
+            if finalize:
+                algo.finalize_at_termination()
+                algo.drain_newly_finalized()
+            ts = {}
+            for ev in execution.all_events():
+                t = algo.timestamp(ev.eid)
+                if t is not None:
+                    ts[ev.eid] = t
+            assignments[name] = TimestampAssignment(
+                algo, execution, ts, finalized_during_run
+            )
+
+        return SimulationResult(
+            execution=execution,
+            graph=self._graph,
+            duration=duration,
+            event_times=self._event_times,
+            assignments=assignments,
+            finalization_times={
+                name: self._finalization_times[i]
+                for i, name in enumerate(self._names)
+            },
+            stats={
+                name: self._stats[i] for i, name in enumerate(self._names)
+            },
+            app_messages=len(execution.messages),
+            dropped_app_messages=self._dropped_app,
+            dropped_control_messages=self._dropped_control,
+        )

@@ -1,0 +1,75 @@
+"""Deterministic discrete-event scheduler (virtual time).
+
+A minimal priority-queue scheduler: callbacks are executed in timestamp
+order, ties broken by insertion order, so a fixed seed always yields the
+identical execution.  Virtual time is a float with no unit; delay models in
+:mod:`repro.sim.network` define its scale.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+Callback = Callable[[], None]
+
+
+class EventScheduler:
+    """Runs callbacks in virtual-time order."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callback]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._steps = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, not yet executed callbacks."""
+        return len(self._heap)
+
+    @property
+    def steps_executed(self) -> int:
+        return self._steps
+
+    def at(self, time: float, fn: Callback) -> None:
+        """Schedule *fn* at absolute virtual time *time*."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        heapq.heappush(self._heap, (time, self._seq, fn))
+        self._seq += 1
+
+    def after(self, delay: float, fn: Callback) -> None:
+        """Schedule *fn* after *delay* units of virtual time."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.at(self._now + delay, fn)
+
+    def run(
+        self,
+        max_time: Optional[float] = None,
+        max_steps: Optional[int] = None,
+    ) -> None:
+        """Execute callbacks until the queue drains or a bound is hit.
+
+        Callbacks scheduled during the run are executed too.  With
+        *max_time*, callbacks strictly later than that instant remain queued
+        and virtual time stops at the last executed callback.
+        """
+        steps = 0
+        while self._heap:
+            if max_steps is not None and steps >= max_steps:
+                break
+            time, _seq, fn = self._heap[0]
+            if max_time is not None and time > max_time:
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            fn()
+            steps += 1
+            self._steps += 1

@@ -1,0 +1,279 @@
+"""Workload policies driving the simulator.
+
+A workload decides *which* events processes generate and *when*; the
+simulator owns the mechanics (event creation, clock hooks, message
+transport).  Workloads interact with the simulation through the narrow
+:class:`SimHandle` API and two hooks:
+
+- :meth:`Workload.setup` — schedule initial activity;
+- :meth:`Workload.on_deliver` — react to a delivered application message
+  (e.g. a server replying to a request).
+
+Provided policies:
+
+- :class:`UniformWorkload` — each process independently performs a budget of
+  actions at exponential inter-arrival times; each action is a local step or
+  a send to a uniformly random neighbour.  The bread-and-butter workload for
+  the size and correctness experiments.
+- :class:`ClientServerWorkload` — non-cover processes issue requests to
+  random cover neighbours; cover processes reply with probability
+  ``reply_prob``.  Mirrors the client/server pattern of the paper's Figure 4
+  discussion and produces the round trips that finalize inline timestamps.
+- :class:`BroadcastWorkload` — one initiator floods via its neighbours
+  (receivers forward once); a stress test for deep causal chains.
+- :class:`PingPongWorkload` — deterministic alternation over a fixed list of
+  process pairs; useful for reproducible unit-test scenarios.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Dict, Optional, Protocol, Sequence, Set, Tuple
+
+from repro.core.events import Event, Message, ProcessId
+from repro.topology.graph import CommunicationGraph
+
+
+class SimHandle(Protocol):
+    """The surface of the simulator a workload may touch."""
+
+    @property
+    def graph(self) -> CommunicationGraph: ...
+
+    @property
+    def rng(self) -> random.Random: ...
+
+    @property
+    def now(self) -> float: ...
+
+    def do_local(self, proc: ProcessId) -> Event: ...
+
+    def do_send(self, src: ProcessId, dst: ProcessId) -> Event: ...
+
+    def schedule(self, delay: float, fn) -> None: ...
+
+
+class Workload(abc.ABC):
+    """Base class for workload policies."""
+
+    @abc.abstractmethod
+    def setup(self, sim: SimHandle) -> None:
+        """Schedule the initial activity."""
+
+    def on_deliver(self, sim: SimHandle, msg: Message, recv: Event) -> None:
+        """Hook invoked after each application-message delivery."""
+
+
+class UniformWorkload(Workload):
+    """Independent Poisson-style activity at every process.
+
+    Parameters
+    ----------
+    events_per_process:
+        Number of *initiated* actions per process (receives are extra).
+    rate:
+        Mean actions per unit time per process.
+    p_local:
+        Probability an action is a local event (the rest are sends to a
+        uniformly random neighbour; isolated processes only do local steps).
+    jitter_start:
+        Randomize each process's first action time in ``[0, 1/rate]``.
+    """
+
+    def __init__(
+        self,
+        events_per_process: int = 20,
+        rate: float = 1.0,
+        p_local: float = 0.3,
+        jitter_start: bool = True,
+    ) -> None:
+        if events_per_process < 0:
+            raise ValueError("events_per_process must be >= 0")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= p_local <= 1.0:
+            raise ValueError("p_local must be a probability")
+        self.events_per_process = events_per_process
+        self.rate = rate
+        self.p_local = p_local
+        self.jitter_start = jitter_start
+
+    def setup(self, sim: SimHandle) -> None:
+        for p in sim.graph.vertices():
+            self._schedule_next(sim, p, self.events_per_process)
+
+    def _schedule_next(self, sim: SimHandle, p: ProcessId, budget: int) -> None:
+        if budget <= 0:
+            return
+        if self.jitter_start and budget == self.events_per_process:
+            delay = sim.rng.uniform(0.0, 1.0 / self.rate) + 1e-9
+        else:
+            delay = sim.rng.expovariate(self.rate) + 1e-9
+
+        def act() -> None:
+            neighbors = sorted(sim.graph.neighbors(p))
+            if not neighbors or sim.rng.random() < self.p_local:
+                sim.do_local(p)
+            else:
+                sim.do_send(p, sim.rng.choice(neighbors))
+            self._schedule_next(sim, p, budget - 1)
+
+        sim.schedule(delay, act)
+
+
+class ClientServerWorkload(Workload):
+    """Clients request, servers probabilistically reply.
+
+    *servers* defaults to a vertex cover of the graph, making every other
+    process a client of its cover neighbours — the natural workload for the
+    inline algorithm, whose timestamps finalize exactly when such round
+    trips complete.
+    """
+
+    def __init__(
+        self,
+        requests_per_client: int = 10,
+        rate: float = 1.0,
+        reply_prob: float = 1.0,
+        servers: Optional[Sequence[ProcessId]] = None,
+    ) -> None:
+        if requests_per_client < 0:
+            raise ValueError("requests_per_client must be >= 0")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if not 0.0 <= reply_prob <= 1.0:
+            raise ValueError("reply_prob must be a probability")
+        self.requests_per_client = requests_per_client
+        self.rate = rate
+        self.reply_prob = reply_prob
+        self.servers = servers
+
+    def setup(self, sim: SimHandle) -> None:
+        if self.servers is None:
+            from repro.topology.vertex_cover import best_cover
+
+            self._server_set: Set[ProcessId] = set(best_cover(sim.graph))
+        else:
+            self._server_set = set(self.servers)
+        for p in sim.graph.vertices():
+            if p in self._server_set:
+                continue
+            self._schedule_request(sim, p, self.requests_per_client)
+
+    def _schedule_request(
+        self, sim: SimHandle, client: ProcessId, budget: int
+    ) -> None:
+        if budget <= 0:
+            return
+        targets = sorted(
+            v for v in sim.graph.neighbors(client) if v in self._server_set
+        )
+
+        def act() -> None:
+            if targets:
+                sim.do_send(client, sim.rng.choice(targets))
+            else:
+                sim.do_local(client)
+            self._schedule_request(sim, client, budget - 1)
+
+        sim.schedule(sim.rng.expovariate(self.rate) + 1e-9, act)
+
+    def on_deliver(self, sim: SimHandle, msg: Message, recv: Event) -> None:
+        if msg.dst in self._server_set and msg.src not in self._server_set:
+            if sim.rng.random() < self.reply_prob:
+                reply_delay = sim.rng.expovariate(self.rate * 4) + 1e-9
+                sim.schedule(
+                    reply_delay, lambda: sim.do_send(msg.dst, msg.src)
+                )
+
+
+class BroadcastWorkload(Workload):
+    """Flood from *initiator*: every process forwards on first receipt.
+
+    Creates the long causal chains used to stress ``pre`` propagation.  Each
+    process forwards at most once (to all neighbours except the one it heard
+    from), so the flood terminates.
+    """
+
+    def __init__(self, initiator: ProcessId = 0, rounds: int = 1) -> None:
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.initiator = initiator
+        self.rounds = rounds
+
+    def setup(self, sim: SimHandle) -> None:
+        self._forwarded: Set[Tuple[int, ProcessId]] = set()
+        self._round_of_msg: Dict[int, int] = {}
+        for r in range(self.rounds):
+            self._forwarded.add((r, self.initiator))
+            delay = float(r) + 1e-9
+            sim.schedule(delay, self._make_flood(sim, r, self.initiator, None))
+
+    def _make_flood(
+        self,
+        sim: SimHandle,
+        round_id: int,
+        p: ProcessId,
+        heard_from: Optional[ProcessId],
+    ):
+        def flood() -> None:
+            for q in sorted(sim.graph.neighbors(p)):
+                if q != heard_from:
+                    ev = sim.do_send(p, q)
+                    assert ev.msg_id is not None
+                    self._round_of_msg[ev.msg_id] = round_id
+
+        return flood
+
+    def on_deliver(self, sim: SimHandle, msg: Message, recv: Event) -> None:
+        round_id = self._round_of_msg.get(msg.msg_id)
+        if round_id is None:
+            return
+        key = (round_id, msg.dst)
+        if key in self._forwarded:
+            return
+        self._forwarded.add(key)
+        sim.schedule(
+            1e-9, self._make_flood(sim, round_id, msg.dst, msg.src)
+        )
+
+
+class PingPongWorkload(Workload):
+    """Deterministic request/response ping-pong over fixed pairs.
+
+    For each ``(a, b)`` pair, ``a`` sends, ``b`` replies, *rounds* times.
+    """
+
+    def __init__(
+        self, pairs: Sequence[Tuple[ProcessId, ProcessId]], rounds: int = 5
+    ) -> None:
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.pairs = list(pairs)
+        self.rounds = rounds
+
+    def setup(self, sim: SimHandle) -> None:
+        self._remaining: Dict[Tuple[ProcessId, ProcessId], int] = {
+            (a, b): self.rounds for a, b in self.pairs
+        }
+        for i, (a, b) in enumerate(self.pairs):
+            sim.schedule(1e-9 * (i + 1), self._make_ping(sim, a, b))
+
+    def _make_ping(self, sim: SimHandle, a: ProcessId, b: ProcessId):
+        def ping() -> None:
+            sim.do_send(a, b)
+
+        return ping
+
+    def on_deliver(self, sim: SimHandle, msg: Message, recv: Event) -> None:
+        key = (msg.src, msg.dst)
+        rkey = (msg.dst, msg.src)
+        if key in self._remaining:
+            # this was a ping: send the pong
+            sim.schedule(1e-9, self._make_ping(sim, msg.dst, msg.src))
+        elif rkey in self._remaining:
+            # this was a pong: one round completed
+            self._remaining[rkey] -= 1
+            if self._remaining[rkey] > 0:
+                sim.schedule(1e-9, self._make_ping(sim, msg.dst, msg.src))

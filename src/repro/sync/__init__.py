@@ -1,0 +1,37 @@
+"""Synchronous computations and component timestamps (paper §5, Figure 3)."""
+
+from repro.sync.component_clock import ComponentSyncClock, ComponentTimestamp
+from repro.sync.decomposition import (
+    Component,
+    Decomposition,
+    best_decomposition,
+    star_decomposition,
+    star_triangle_decomposition,
+)
+from repro.sync.timed import SyncSimResult, simulate_sync
+from repro.sync.model import (
+    SyncEvent,
+    SyncEventKind,
+    SyncExecution,
+    SyncExecutionBuilder,
+    SyncOracle,
+    random_sync_execution,
+)
+
+__all__ = [
+    "ComponentSyncClock",
+    "ComponentTimestamp",
+    "Component",
+    "Decomposition",
+    "best_decomposition",
+    "star_decomposition",
+    "star_triangle_decomposition",
+    "SyncEvent",
+    "SyncEventKind",
+    "SyncExecution",
+    "SyncExecutionBuilder",
+    "SyncOracle",
+    "random_sync_execution",
+    "SyncSimResult",
+    "simulate_sync",
+]

@@ -1,0 +1,226 @@
+"""Component timestamps for synchronous computations.
+
+The inline idea of the paper, transplanted to the synchronous model of
+Garg & Skawratananond [10, 11]: fix a star/triangle edge decomposition with
+``d`` components; within each component, synchronous message events are
+totally ordered (any two share an endpoint), so a component's messages can
+serve as *proxies* exactly like the cover processes do in Section 4.  Each
+event ``e`` carries
+
+- its participant ids and local index (``ctr``),
+- ``V_e[j]`` — the number of component-``j`` messages in ``e``'s causal
+  past (``max ∅ = 0``); because those messages are totally ordered, this
+  identifies a prefix;
+- ``W_e[j]`` — the index of the first component-``j`` message ``m`` with
+  ``e ⪯ m`` **at one of e's own processes** (``min ∅ = ∞``).
+
+Comparison (proved in the module tests against the ground-truth oracle):
+events sharing a process compare by local index; otherwise
+``e → f  iff  ∃j: W_e[j] ≤ V_f[j]`` — the first hop of any causal path out
+of ``e``'s processes is a message at one of them, and the component total
+order bridges it to the last component message below ``f``.
+
+Like the paper's ``mpost``, ``W`` is *inline*: entry ``j`` becomes known
+when one of the event's processes participates in its next component-``j``
+message (message events know their own component's entry immediately), and
+entries for components not incident to the event's processes stay ``∞``
+without blocking finalization.  The timestamp has at most ``2d + 4``
+stored elements (message events carry two ids and two local indices),
+compared with ``n`` for vector clocks and the ``d + 4`` of [10, 11] (which
+exploits synchrony more aggressively; our variant trades a few elements for
+sharing the paper's pre/post machinery — the relationship the paper's §5
+discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.clocks.base import INFINITY
+from repro.sync.decomposition import Decomposition
+from repro.sync.model import SyncEvent, SyncExecution
+
+Value = Union[int, float]
+
+
+@dataclass(frozen=True)
+class ComponentTimestamp:
+    """A (possibly finalized) component timestamp of a synchronous event."""
+
+    procs: Tuple[int, ...]
+    ctr: Tuple[int, ...]  # local index per participant, aligned with procs
+    v: Tuple[int, ...]  # per-component causal-past message counts
+    w: Tuple[Value, ...]  # per-component first-future message index
+
+    def precedes(self, other: "ComponentTimestamp") -> bool:
+        shared = set(self.procs) & set(other.procs)
+        if shared:
+            p = min(shared)
+            return self.index_at(p) < other.index_at(p)
+        return any(wj <= vj for wj, vj in zip(self.w, other.v))
+
+    def index_at(self, proc: int) -> int:
+        for p, i in zip(self.procs, self.ctr):
+            if p == proc:
+                return i
+        raise KeyError(f"process {proc} not a participant")
+
+    def elements(self) -> Tuple[Value, ...]:
+        return self.procs + self.ctr + self.v + self.w
+
+    @property
+    def n_elements(self) -> int:
+        return len(self.elements())
+
+
+class ComponentSyncClock:
+    """Assigns component timestamps by replaying a synchronous execution.
+
+    The clock is *inline*: :meth:`timestamp` returns ``None`` while an
+    event's ``W`` entries for incident components are still unknown;
+    :meth:`finalize_at_termination` turns the remaining ``∞`` entries
+    permanent (no further component messages will occur).
+    """
+
+    def __init__(self, decomposition: Decomposition) -> None:
+        self._dec = decomposition
+        self._d = decomposition.d
+        n = decomposition.graph.n_vertices
+        self._n = n
+        #: per-process current knowledge of component counts
+        self._v: List[List[int]] = [[0] * self._d for _ in range(n)]
+        #: global per-component message counters (for validation only)
+        self._count = [0] * self._d
+        #: per event uid: mutable record
+        self._records: Dict[int, _Record] = {}
+        #: per process: uids of its events with pending W entries
+        self._pending: List[List[int]] = [[] for _ in range(n)]
+        #: incident components per process
+        self._incident: List[Tuple[int, ...]] = [
+            decomposition.components_of_vertex(p) for p in range(n)
+        ]
+        self._terminated = False
+        self._newly_final: List[int] = []
+
+    # ------------------------------------------------------------------
+    def process_event(self, ev: SyncEvent) -> None:
+        """Feed the next event of the execution (in global order)."""
+        if ev.uid in self._records:
+            raise ValueError(f"event {ev.uid} already processed")
+        if ev.is_message:
+            a, b = ev.procs
+            j = self._dec.component_of_edge(a, b)
+            merged = [
+                max(x, y) for x, y in zip(self._v[a], self._v[b])
+            ]
+            index = merged[j] + 1
+            self._count[j] += 1
+            if index != self._count[j]:
+                raise AssertionError(
+                    "component total-order invariant violated"
+                )  # pragma: no cover
+            merged[j] = index
+            self._v[a] = list(merged)
+            self._v[b] = list(merged)
+            rec = _Record(
+                ev=ev,
+                v=tuple(merged),
+                w=[INFINITY] * self._d,
+                needed=set(self._incident[a]) | set(self._incident[b]),
+            )
+            rec.w[j] = index
+            rec.needed.discard(j)
+            self._records[ev.uid] = rec
+            # this message resolves pending W[j] entries at both endpoints
+            for p in (a, b):
+                self._resolve_pending(p, j, index)
+                self._pending[p].append(ev.uid)
+        else:
+            (p,) = ev.procs
+            rec = _Record(
+                ev=ev,
+                v=tuple(self._v[p]),
+                w=[INFINITY] * self._d,
+                needed=set(self._incident[p]),
+            )
+            self._records[ev.uid] = rec
+            self._pending[p].append(ev.uid)
+        if not self._records[ev.uid].needed and not self._records[ev.uid].final:
+            self._records[ev.uid].final = True
+            self._newly_final.append(ev.uid)
+
+    def _resolve_pending(self, p: int, j: int, index: int) -> None:
+        """A component-j message with *index* occurred at *p*: it is the
+        first future component-j message for every pending event of p that
+        still lacks W[j]."""
+        for uid in self._pending[p]:
+            rec = self._records[uid]
+            if j in rec.needed:
+                rec.w[j] = min(rec.w[j], index)
+                rec.needed.discard(j)
+                if not rec.needed:
+                    rec.final = True
+                    self._newly_final.append(rec.ev.uid)
+
+    # ------------------------------------------------------------------
+    def replay(self, execution: SyncExecution) -> None:
+        """Process every event of *execution* in order."""
+        for ev in execution.events:
+            self.process_event(ev)
+
+    def finalize_at_termination(self) -> None:
+        """No more events: remaining ∞ entries are permanent."""
+        self._terminated = True
+        for rec in self._records.values():
+            rec.needed.clear()
+            if not rec.final:
+                rec.final = True
+                self._newly_final.append(rec.ev.uid)
+
+    def drain_newly_finalized(self) -> List[int]:
+        """Event uids finalized since the last drain (for timing hosts)."""
+        out = self._newly_final
+        self._newly_final = []
+        return out
+
+    # ------------------------------------------------------------------
+    def is_final(self, ev: SyncEvent) -> bool:
+        return self._records[ev.uid].final
+
+    def timestamp(self, ev: SyncEvent) -> Optional[ComponentTimestamp]:
+        rec = self._records[ev.uid]
+        if not rec.final:
+            return None
+        return self._to_timestamp(rec)
+
+    def provisional_timestamp(self, ev: SyncEvent) -> ComponentTimestamp:
+        return self._to_timestamp(self._records[ev.uid])
+
+    def _to_timestamp(self, rec: "_Record") -> ComponentTimestamp:
+        ev = rec.ev
+        return ComponentTimestamp(
+            procs=ev.procs,
+            ctr=tuple(ev.index_at(p) for p in ev.procs),
+            v=rec.v,
+            w=tuple(rec.w),
+        )
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    def max_elements(self) -> int:
+        return max(
+            (self._to_timestamp(r).n_elements for r in self._records.values()),
+            default=0,
+        )
+
+
+@dataclass
+class _Record:
+    ev: SyncEvent
+    v: Tuple[int, ...]
+    w: List[Value]
+    needed: set
+    final: bool = False

@@ -1,0 +1,32 @@
+"""Communication graphs, generators, vertex covers, and structural properties."""
+
+from repro.topology.graph import CommunicationGraph, Edge
+from repro.topology import generators
+from repro.topology.vertex_cover import (
+    best_cover,
+    exact_minimum_cover,
+    greedy_degree_cover,
+    is_minimal_cover,
+    matching_cover,
+)
+from repro.topology.properties import (
+    adversary_diameter,
+    articulation_points,
+    lemma_2_4_set_x,
+    vertex_connectivity,
+)
+
+__all__ = [
+    "CommunicationGraph",
+    "Edge",
+    "generators",
+    "best_cover",
+    "exact_minimum_cover",
+    "greedy_degree_cover",
+    "is_minimal_cover",
+    "matching_cover",
+    "adversary_diameter",
+    "articulation_points",
+    "lemma_2_4_set_x",
+    "vertex_connectivity",
+]

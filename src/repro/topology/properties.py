@@ -1,0 +1,177 @@
+"""Structural graph properties used by the lower-bound results.
+
+Lemma 2.3 applies to graphs of vertex connectivity >= 2; Lemma 2.4 applies to
+graphs of vertex connectivity 1 and is stated in terms of the set ``X`` of
+processes that do not individually form a cut vertex.  This module computes:
+
+- articulation points (cut vertices) via Tarjan's DFS low-link algorithm;
+- the set ``X`` (non-cut vertices) of Lemma 2.4;
+- exact vertex connectivity via Menger's theorem (max vertex-disjoint paths
+  between non-adjacent pairs, computed with unit-capacity BFS augmentation on
+  the split-vertex flow network);
+- the diameter quantity ``D`` used in the Lemma 2.3/2.4 adversaries (the
+  maximum diameter over subgraphs missing one vertex).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.topology.graph import CommunicationGraph
+
+
+def articulation_points(graph: CommunicationGraph) -> Set[int]:
+    """Cut vertices of *graph* (Tarjan low-link, iterative DFS)."""
+    n = graph.n_vertices
+    visited = [False] * n
+    disc = [0] * n
+    low = [0] * n
+    parent = [-1] * n
+    points: Set[int] = set()
+    timer = [0]
+
+    for start in range(n):
+        if visited[start]:
+            continue
+        # iterative DFS with explicit child counting for the root
+        root_children = 0
+        stack: List[Tuple[int, iter]] = []
+        visited[start] = True
+        disc[start] = low[start] = timer[0]
+        timer[0] += 1
+        stack.append((start, iter(graph.neighbors(start))))
+        while stack:
+            u, it = stack[-1]
+            advanced = False
+            for v in it:
+                if not visited[v]:
+                    visited[v] = True
+                    parent[v] = u
+                    disc[v] = low[v] = timer[0]
+                    timer[0] += 1
+                    if u == start:
+                        root_children += 1
+                    stack.append((v, iter(graph.neighbors(v))))
+                    advanced = True
+                    break
+                elif v != parent[u]:
+                    low[u] = min(low[u], disc[v])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    low[p] = min(low[p], low[u])
+                    if p != start and low[u] >= disc[p]:
+                        points.add(p)
+        if root_children > 1:
+            points.add(start)
+    return points
+
+
+def lemma_2_4_set_x(graph: CommunicationGraph) -> Set[int]:
+    """The set ``X`` of Lemma 2.4: vertices that are not cut vertices.
+
+    For a star graph this is exactly the set of radial processes, giving the
+    paper's observation that ``|X| = n - 1`` there.
+    """
+    return set(range(graph.n_vertices)) - articulation_points(graph)
+
+
+def _max_vertex_disjoint_paths(
+    graph: CommunicationGraph, s: int, t: int
+) -> int:
+    """Maximum number of internally vertex-disjoint s-t paths (Menger).
+
+    Standard vertex-splitting construction: each vertex v becomes v_in/v_out
+    with a unit-capacity internal arc (infinite for s and t); each undirected
+    edge {u, v} becomes arcs u_out->v_in and v_out->u_in of unit capacity.
+    Unit capacities let us augment with plain BFS.
+    """
+    n = graph.n_vertices
+    # node encoding: 2*v = v_in, 2*v+1 = v_out
+    INF = 1 << 30
+    cap: Dict[Tuple[int, int], int] = {}
+
+    def add(u: int, v: int, c: int) -> None:
+        cap[(u, v)] = cap.get((u, v), 0) + c
+        cap.setdefault((v, u), 0)
+
+    for v in range(n):
+        add(2 * v, 2 * v + 1, INF if v in (s, t) else 1)
+    for u, v in graph.edges:
+        add(2 * u + 1, 2 * v, 1)
+        add(2 * v + 1, 2 * u, 1)
+
+    adjacency: Dict[int, List[int]] = {}
+    for (u, v) in cap:
+        adjacency.setdefault(u, []).append(v)
+
+    source, sink = 2 * s + 1, 2 * t
+    flow = 0
+    while True:
+        # BFS for augmenting path
+        prev: Dict[int, int] = {source: source}
+        queue = [source]
+        head = 0
+        while head < len(queue) and sink not in prev:
+            u = queue[head]
+            head += 1
+            for v in adjacency.get(u, ()):
+                if v not in prev and cap[(u, v)] > 0:
+                    prev[v] = u
+                    queue.append(v)
+        if sink not in prev:
+            return flow
+        v = sink
+        while v != source:
+            u = prev[v]
+            cap[(u, v)] -= 1
+            cap[(v, u)] += 1
+            v = u
+        flow += 1
+        if flow > n:  # pragma: no cover - safety
+            raise RuntimeError("flow exceeded vertex count")
+
+
+def vertex_connectivity(graph: CommunicationGraph) -> int:
+    """Exact vertex connectivity.
+
+    0 for disconnected graphs, ``n-1`` for complete graphs; otherwise the
+    minimum over Menger computations.  Uses the classic optimization: fix a
+    minimum-degree vertex ``s`` and compute against all non-neighbors, plus
+    pairs of neighbors of ``s``.
+    """
+    n = graph.n_vertices
+    if n <= 1:
+        return 0
+    if not graph.is_connected():
+        return 0
+    if graph.n_edges == n * (n - 1) // 2:
+        return n - 1
+    s = min(range(n), key=graph.degree)
+    best = graph.degree(s)
+    non_neighbors = [
+        t for t in range(n) if t != s and not graph.has_edge(s, t)
+    ]
+    for t in non_neighbors:
+        best = min(best, _max_vertex_disjoint_paths(graph, s, t))
+    neigh = sorted(graph.neighbors(s))
+    for i, u in enumerate(neigh):
+        for v in neigh[i + 1 :]:
+            if not graph.has_edge(u, v):
+                best = min(best, _max_vertex_disjoint_paths(graph, u, v))
+    return best
+
+
+def adversary_diameter(graph: CommunicationGraph, candidates: Set[int]) -> int:
+    """The quantity ``D`` from Lemmas 2.3/2.4.
+
+    Maximum, over each vertex ``x`` in *candidates*, of the diameter of the
+    subgraph induced by removing ``x``.  The adversary makes all of one
+    vertex's channels slower than ``2*delta*D`` so that flooding completes
+    among the other vertices first.
+    """
+    best = 0
+    for x in candidates:
+        best = max(best, graph.diameter(ignore={x}))
+    return best

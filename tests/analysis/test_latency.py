@@ -1,0 +1,119 @@
+"""Tests for finalization-latency statistics."""
+
+import pytest
+
+from repro.analysis.latency import (
+    LatencySummary,
+    finalized_fraction_curve,
+    mean_inflight_events,
+    percentile,
+    summarize_latencies,
+)
+from repro.clocks import StarInlineClock, VectorClock
+from repro.sim import ConstantDelay, Simulation, UniformWorkload
+from repro.topology import generators
+
+
+def run_sim(seed=0):
+    g = generators.star(5)
+    sim = Simulation(
+        g,
+        seed=seed,
+        clocks={"inline": StarInlineClock(5), "vector": VectorClock(5)},
+        delay_model=ConstantDelay(1.0),
+    )
+    return sim.run(UniformWorkload(events_per_process=15, p_local=0.3))
+
+
+class TestPercentile:
+    def test_basic(self):
+        vals = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(vals, 0.5) == 2.0
+        assert percentile(vals, 1.0) == 4.0
+        assert percentile(vals, 0.0) == 1.0
+
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestSummaries:
+    def test_vector_clock_zero_latency(self):
+        res = run_sim()
+        s = summarize_latencies(res, "vector")
+        assert s.finalized_fraction == 1.0
+        assert s.mean == 0.0
+        assert s.maximum == 0.0
+
+    def test_inline_positive_latency(self):
+        res = run_sim()
+        s = summarize_latencies(res, "inline")
+        assert 0 < s.finalized_fraction <= 1.0
+        assert s.mean > 0
+        assert s.median <= s.p95 <= s.maximum
+
+    def test_empty_summary(self):
+        s = LatencySummary.empty()
+        assert s.count == 0
+
+
+class TestCurves:
+    def test_fraction_curve_shape(self):
+        res = run_sim()
+        curve = finalized_fraction_curve(res, "inline", n_points=10)
+        assert len(curve) == 10
+        assert curve[0][0] == 0.0
+        assert curve[-1][0] == pytest.approx(res.duration)
+        for _t, frac in curve:
+            assert 0.0 <= frac <= 1.0
+
+    def test_vector_curve_is_flat_one(self):
+        res = run_sim()
+        curve = finalized_fraction_curve(res, "vector", n_points=6)
+        for _t, frac in curve:
+            assert frac == 1.0
+
+    def test_point_validation(self):
+        res = run_sim()
+        with pytest.raises(ValueError):
+            finalized_fraction_curve(res, "inline", n_points=1)
+
+
+class TestInflight:
+    def test_littles_law_sign(self):
+        res = run_sim()
+        assert mean_inflight_events(res, "inline") > 0
+        assert mean_inflight_events(res, "vector") == 0.0
+
+
+class TestAnalyticModel:
+    def test_formula(self):
+        from repro.analysis import expected_star_finalization_latency
+
+        # pure sends at rate 1, unit delays: 1 + 2 = 3
+        assert expected_star_finalization_latency(1.0, 0.0, 1.0) == 3.0
+        # half the actions are local: send wait doubles
+        assert expected_star_finalization_latency(1.0, 0.5, 1.0) == 4.0
+
+    def test_validation(self):
+        from repro.analysis import expected_star_finalization_latency
+
+        with pytest.raises(ValueError):
+            expected_star_finalization_latency(0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_star_finalization_latency(1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            expected_star_finalization_latency(1.0, 0.0, -1.0)
+
+    def test_model_monotonicity(self):
+        from repro.analysis import expected_star_finalization_latency
+
+        assert expected_star_finalization_latency(
+            1.0, 0.0, 1.0
+        ) < expected_star_finalization_latency(1.0, 0.8, 1.0)
+        assert expected_star_finalization_latency(
+            2.0, 0.0, 1.0
+        ) < expected_star_finalization_latency(1.0, 0.0, 1.0)

@@ -1,0 +1,70 @@
+"""Tests: the analytic overhead model matches the simulator exactly."""
+
+import pytest
+
+from repro.analysis.overhead_model import (
+    expected_control_elements,
+    expected_control_messages,
+    expected_piggyback_elements,
+    overhead_ratio_vs_vector,
+)
+from repro.clocks import CoverInlineClock
+from repro.sim import Simulation, UniformWorkload
+from repro.topology import generators
+
+
+class TestFormulas:
+    def test_control_messages_star(self):
+        g = generators.star(4)
+        traffic = {(1, 0): 5, (0, 2): 3, (3, 0): 2}
+        # radial->hub messages trigger controls: 5 + 2
+        assert expected_control_messages(g, [0], traffic) == 7
+
+    def test_cover_to_cover_free(self):
+        g = generators.double_star(1, 1)
+        traffic = {(0, 1): 4, (1, 0): 4}
+        assert expected_control_messages(g, [0, 1], traffic) == 0
+
+    def test_validation(self):
+        g = generators.star(3)
+        with pytest.raises(ValueError):
+            expected_control_messages(g, [1], {})  # not a cover
+        with pytest.raises(ValueError):
+            expected_control_messages(g, [0], {(1, 2): 1})  # non-edge
+        with pytest.raises(ValueError):
+            expected_control_messages(g, [0], {(1, 0): -1})
+        with pytest.raises(ValueError):
+            expected_piggyback_elements(-1, 2)
+        with pytest.raises(ValueError):
+            expected_control_elements(-1)
+        with pytest.raises(ValueError):
+            overhead_ratio_vs_vector(4, 1, 2.0)
+
+    def test_ratio(self):
+        # star n=16, |VC|=1, all messages radial->hub or hub->radial:
+        # control fraction 0.5 => (1+2+1.5)/16
+        assert overhead_ratio_vs_vector(16, 1, 0.5) == pytest.approx(4.5 / 16)
+
+
+class TestModelMatchesSimulator:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_exact_agreement(self, seed):
+        g = generators.double_star(2, 3)
+        clock = CoverInlineClock(g, (0, 1))
+        sim = Simulation(g, seed=seed, clocks={"inline": clock})
+        res = sim.run(UniformWorkload(events_per_process=15, p_local=0.2))
+
+        traffic = {}
+        for msg in res.execution.messages:
+            if msg.recv_event is not None:
+                key = (msg.src, msg.dst)
+                traffic[key] = traffic.get(key, 0) + 1
+        expected_ctrl = expected_control_messages(g, (0, 1), traffic)
+        stats = res.stats["inline"]
+        assert stats.control_messages == expected_ctrl
+        assert stats.control_elements == expected_control_elements(
+            expected_ctrl
+        )
+        assert stats.app_payload_elements == expected_piggyback_elements(
+            2, res.app_messages
+        )

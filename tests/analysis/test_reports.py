@@ -1,0 +1,36 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.analysis.reports import format_series, format_table
+
+
+class TestTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"],
+            [["a", 1], ["long-name", 22]],
+            title="T",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_bool_and_float_formatting(self):
+        out = format_table(["x"], [[True], [False], [1.23456]])
+        assert "yes" in out and "no" in out and "1.235" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestSeries:
+    def test_bars(self):
+        out = format_series([(0.0, 0.5), (1.0, 1.0)], "t", "frac")
+        assert "#" in out
+        assert "frac" in out
+
+    def test_empty(self):
+        assert "empty" in format_series([])

@@ -1,0 +1,128 @@
+"""Tests for BSS causal broadcast."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.applications.causal_broadcast import (
+    Broadcast,
+    CausalBroadcastProcess,
+    check_causal_delivery,
+)
+
+
+def make_group(n):
+    return [CausalBroadcastProcess(p, n) for p in range(n)]
+
+
+class TestBasics:
+    def test_self_delivery(self):
+        (p,) = make_group(1)
+        m = p.broadcast()
+        assert p.delivery_log == [m]
+
+    def test_in_order_delivery(self):
+        a, b = make_group(2)
+        m1 = a.broadcast()
+        m2 = a.broadcast()
+        assert b.receive(m1) == [m1]
+        assert b.receive(m2) == [m2]
+        assert check_causal_delivery([a, b]) == []
+
+    def test_out_of_order_same_sender_held_back(self):
+        a, b = make_group(2)
+        m1 = a.broadcast()
+        m2 = a.broadcast()
+        assert b.receive(m2) == []  # m1 missing: hold back
+        assert b.pending == 1
+        assert b.receive(m1) == [m1, m2]  # chain unblocks
+        assert b.pending == 0
+
+    def test_cross_sender_dependency(self):
+        """b broadcasts after delivering a's message: c must order them."""
+        a, b, c = make_group(3)
+        m1 = a.broadcast()
+        b.receive(m1)
+        m2 = b.broadcast()  # causally after m1
+        assert c.receive(m2) == []  # m1 not yet delivered at c
+        assert c.receive(m1) == [m1, m2]
+        assert check_causal_delivery([a, b, c]) == []
+
+    def test_concurrent_broadcasts_any_order(self):
+        a, b, c = make_group(3)
+        m1 = a.broadcast()
+        m2 = b.broadcast()  # concurrent with m1
+        assert c.receive(m2) == [m2]
+        assert c.receive(m1) == [m1]
+        assert check_causal_delivery([a, b, c]) == []
+
+    def test_own_message_ignored_on_receive(self):
+        a, b = make_group(2)
+        m = a.broadcast()
+        assert a.receive(m) == []
+
+    def test_vector_length_checked(self):
+        a, b = make_group(2)
+        bad = Broadcast(0, 1, (0, 0, 0))
+        with pytest.raises(ValueError):
+            b.receive(bad)
+
+    def test_bad_process_id(self):
+        with pytest.raises(ValueError):
+            CausalBroadcastProcess(5, 3)
+
+
+class TestAuditor:
+    def test_detects_violation(self):
+        """Force a violating log by bypassing the middleware."""
+        a, b = make_group(2)
+        m1 = a.broadcast()
+        m2 = a.broadcast()
+        # tamper: b 'delivers' m2 without m1
+        b.delivery_log.append(m2)
+        problems = check_causal_delivery([b])
+        assert problems
+        assert "without its dependency" in problems[0]
+
+
+class TestRandomizedCausalOrder:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_arbitrary_network_reordering_is_masked(self, seed):
+        """Broadcasts delivered through arbitrarily reordered channels
+        still come out in causal order at every process."""
+        rng = random.Random(seed)
+        n = rng.randint(2, 5)
+        group = make_group(n)
+        in_flight = []  # (dst, Broadcast)
+        for _step in range(60):
+            if in_flight and rng.random() < 0.55:
+                idx = rng.randrange(len(in_flight))
+                dst, msg = in_flight.pop(idx)
+                group[dst].receive(msg)
+            else:
+                src = rng.randrange(n)
+                msg = group[src].broadcast()
+                for dst in range(n):
+                    if dst != src:
+                        in_flight.append((dst, msg))
+        # flush
+        rng.shuffle(in_flight)
+        stuck = 0
+        while in_flight:
+            progressed = False
+            for i, (dst, msg) in enumerate(list(in_flight)):
+                group[dst].receive(msg)
+                in_flight.pop(i)
+                progressed = True
+                break
+            if not progressed:  # pragma: no cover
+                stuck += 1
+                break
+        assert check_causal_delivery(group) == []
+        # everything eventually delivered everywhere
+        total = sum(p._sent for p in group)
+        for p in group:
+            assert len(p.delivery_log) == total
+            assert p.pending == 0

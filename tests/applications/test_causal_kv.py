@@ -1,0 +1,82 @@
+"""Tests for the Figure-4 sequencer-based causal KV store."""
+
+import pytest
+
+from repro.applications.causal_kv import (
+    StoreConfig,
+    run_store,
+    verify_causal_reads,
+)
+from repro.core import HappenedBeforeOracle
+
+
+class TestStoreRuns:
+    def make(self, **kw):
+        defaults = dict(
+            n_sequencers=2, n_servers=3, n_clients=4, ops_per_client=6, seed=0
+        )
+        defaults.update(kw)
+        return run_store(StoreConfig(**defaults))
+
+    def test_all_operations_complete(self):
+        run = self.make()
+        assert run.completed_operations == 4 * 6
+
+    def test_causal_consistency(self):
+        for seed in range(3):
+            run = self.make(seed=seed)
+            assert verify_causal_reads(run) == []
+
+    def test_sequencers_form_cover(self):
+        run = self.make()
+        assert run.graph.is_vertex_cover(run.sequencers)
+
+    def test_inline_timestamps_at_bound(self):
+        run = self.make()
+        assert run.inline_max_elements <= 2 * len(run.sequencers) + 2
+
+    def test_inline_smaller_than_vector_for_many_clients(self):
+        run = self.make(n_clients=10)
+        assert run.inline_max_elements < run.vector_elements
+
+    def test_inline_clock_characterizes_store_execution(self):
+        run = self.make(ops_per_client=4)
+        oracle = HappenedBeforeOracle(run.sim_result.execution)
+        report = run.sim_result.assignments["inline"].validate(oracle)
+        assert report.characterizes
+
+    def test_write_versions_serialized_per_key(self):
+        run = self.make(write_fraction=1.0)
+        by_key = {}
+        for w in run.writes:
+            by_key.setdefault(w.key, []).append(w.version)
+        for key, versions in by_key.items():
+            assert sorted(versions) == list(range(1, len(versions) + 1))
+
+    def test_read_only_workload(self):
+        run = self.make(write_fraction=0.0)
+        assert all(op.kind == "r" for op in run.operations)
+        assert all(op.version == 0 for op in run.operations)
+        assert verify_causal_reads(run) == []
+
+
+class TestTraffic:
+    def test_optimization_removes_all_sequencer_data(self):
+        run = run_store(StoreConfig(seed=1, ops_per_client=5))
+        t = run.traffic
+        assert t.baseline_sequencer_data_load > 0
+        assert t.optimized_sequencer_data_load == 0
+
+    def test_hop_accounting_consistent(self):
+        run = run_store(StoreConfig(seed=2, ops_per_client=5))
+        t = run.traffic
+        assert t.sequencer_data_hops <= t.data_hops
+        assert t.sequencer_meta_hops <= t.meta_hops
+        # every hop in this topology touches a sequencer (cover property)
+        assert t.sequencer_data_hops == t.data_hops
+        assert t.sequencer_meta_hops == t.meta_hops
+
+    def test_more_servers_more_replication_traffic(self):
+        small = run_store(StoreConfig(n_servers=2, seed=3, ops_per_client=5))
+        large = run_store(StoreConfig(n_servers=5, seed=3, ops_per_client=5))
+        assert large.traffic.data_hops > small.traffic.data_hops

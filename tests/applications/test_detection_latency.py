@@ -1,0 +1,89 @@
+"""Tests for online-vs-inline detection latency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.applications.detection_latency import (
+    detection_lag,
+    first_detection_time,
+)
+from repro.clocks import StarInlineClock, VectorClock
+from repro.core import HappenedBeforeOracle
+from repro.sim import ConstantDelay, Simulation, UniformWorkload
+from repro.topology import generators
+
+
+def run_sim(seed=0, n=5, events=15, p_local=0.3):
+    g = generators.star(n)
+    sim = Simulation(
+        g,
+        seed=seed,
+        clocks={"inline": StarInlineClock(n), "vector": VectorClock(n)},
+        delay_model=ConstantDelay(1.0),
+    )
+    return sim.run(UniformWorkload(events_per_process=events, p_local=p_local))
+
+
+def simple_marks(result, threshold=3):
+    ex = result.execution
+    return {
+        p: list(range(threshold, len(ex.events_at(p)) + 1))
+        for p in range(1, ex.n_processes)
+        if len(ex.events_at(p)) >= threshold
+    }
+
+
+class TestFirstDetection:
+    def test_online_detects_when_events_exist(self):
+        res = run_sim(seed=1)
+        marks = simple_marks(res)
+        if not marks:
+            pytest.skip("workload too small")
+        t = first_detection_time(res, marks)
+        assert t is None or 0 <= t <= res.duration
+
+    def test_undetectable_predicate(self):
+        res = run_sim(seed=2)
+        marks = {1: [999]}  # index that never exists
+        marks = {1: []}
+        assert first_detection_time(res, marks) is None
+
+    def test_online_clock_knowledge_equals_occurrences(self):
+        """With the online clock name, first detection == online baseline
+        (every event finalizes at its occurrence time)."""
+        res = run_sim(seed=3)
+        marks = simple_marks(res)
+        if not marks:
+            pytest.skip("workload too small")
+        t_online = first_detection_time(res, marks, None)
+        t_vector = first_detection_time(res, marks, "vector")
+        assert t_online == t_vector
+
+
+class TestDetectionLag:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 2_000))
+    def test_inline_never_earlier(self, seed):
+        res = run_sim(seed=seed)
+        marks = simple_marks(res)
+        if not marks:
+            return
+        lag = detection_lag(res, marks, "inline")
+        if lag.inline_time is not None:
+            assert lag.online_time is not None
+            assert lag.inline_time >= lag.online_time
+            assert lag.lag is not None and lag.lag >= 0
+
+    def test_eventual_detection_with_chatty_workload(self):
+        """With frequent communication, everything finalizes and the
+        inline detector catches whatever the online one caught."""
+        res = run_sim(seed=5, events=25, p_local=0.0)
+        marks = simple_marks(res)
+        if not marks:
+            pytest.skip("workload too small")
+        lag = detection_lag(res, marks, "inline")
+        if lag.online_time is not None:
+            # all relevant events communicated; inline must also detect
+            frac = res.fraction_finalized_during_run("inline")
+            if frac > 0.99:
+                assert lag.inline_time is not None

@@ -1,0 +1,166 @@
+"""Tests for Cooper–Marzullo possibly/definitely detection."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.applications.global_predicate import (
+    count_consistent_cuts,
+    definitely,
+    enumerate_consistent_cuts,
+    possibly,
+    possibly_with_inline,
+)
+from repro.clocks import StarInlineClock, replay_one
+from repro.core import ExecutionBuilder, HappenedBeforeOracle
+from repro.core.cuts import full_cut, is_consistent
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+
+def two_process_race():
+    """p0: two local events; p1: two local events (independent)."""
+    b = ExecutionBuilder(2)
+    b.local(0)
+    b.local(0)
+    b.local(1)
+    b.local(1)
+    return b.freeze()
+
+
+class TestEnumeration:
+    def test_independent_events_form_grid(self):
+        ex = two_process_race()
+        oracle = HappenedBeforeOracle(ex)
+        cuts = list(enumerate_consistent_cuts(oracle))
+        # 3 x 3 grid of (i, j) cuts
+        assert len(cuts) == 9
+        assert set(cuts) == {(i, j) for i in range(3) for j in range(3)}
+
+    def test_chain_collapses_lattice(self):
+        b = ExecutionBuilder(2)
+        m = b.send(0, 1)
+        b.receive(1, m)
+        ex = b.freeze()
+        oracle = HappenedBeforeOracle(ex)
+        cuts = set(enumerate_consistent_cuts(oracle))
+        assert cuts == {(0, 0), (1, 0), (1, 1)}
+
+    def test_all_enumerated_cuts_consistent(self):
+        rng = random.Random(5)
+        ex = random_execution(generators.star(3), rng, steps=12)
+        oracle = HappenedBeforeOracle(ex)
+        for cut in enumerate_consistent_cuts(oracle):
+            assert is_consistent(oracle, cut)
+
+    def test_count_matches_enumeration(self):
+        ex = two_process_race()
+        oracle = HappenedBeforeOracle(ex)
+        assert count_consistent_cuts(oracle) == 9
+
+
+class TestPossibly:
+    def test_finds_minimal_witness(self):
+        ex = two_process_race()
+        oracle = HappenedBeforeOracle(ex)
+        witness = possibly(oracle, lambda c: c[0] >= 1 and c[1] >= 1)
+        assert witness == (1, 1)
+
+    def test_unsatisfiable(self):
+        ex = two_process_race()
+        oracle = HappenedBeforeOracle(ex)
+        assert possibly(oracle, lambda c: c[0] > 99) is None
+
+    def test_causally_excluded_state(self):
+        """p0's second event is the send received as p1's first event: the
+        state (2 events at p0, 0 at p1)... is reachable, but (0, 1) isn't."""
+        b = ExecutionBuilder(2)
+        b.local(0)
+        m = b.send(0, 1)
+        b.receive(1, m)
+        ex = b.freeze()
+        oracle = HappenedBeforeOracle(ex)
+        assert possibly(oracle, lambda c: c == (2, 0)) == (2, 0)
+        assert possibly(oracle, lambda c: c == (0, 1)) is None
+
+
+class TestDefinitely:
+    def test_unavoidable_state(self):
+        """On a chain the intermediate cut (1, 0) is on every path."""
+        b = ExecutionBuilder(2)
+        m = b.send(0, 1)
+        b.receive(1, m)
+        ex = b.freeze()
+        oracle = HappenedBeforeOracle(ex)
+        assert definitely(oracle, lambda c: c == (1, 0))
+
+    def test_avoidable_state(self):
+        """On the 2x2 grid the state (1, 0) can be bypassed via (0, 1)."""
+        ex = two_process_race()
+        oracle = HappenedBeforeOracle(ex)
+        assert not definitely(oracle, lambda c: c == (1, 0))
+
+    def test_diagonal_barrier_is_definite(self):
+        """Any antichain barrier (here: total events == 2) is unavoidable."""
+        ex = two_process_race()
+        oracle = HappenedBeforeOracle(ex)
+        assert definitely(oracle, lambda c: sum(c) == 2)
+
+    def test_endpoint_predicates(self):
+        ex = two_process_race()
+        oracle = HappenedBeforeOracle(ex)
+        assert definitely(oracle, lambda c: sum(c) == 0)  # empty cut
+        assert definitely(oracle, lambda c: c == full_cut(oracle))
+
+    def test_possibly_weaker_than_definitely(self):
+        """definitely implies possibly on any execution/predicate pair."""
+        rng = random.Random(9)
+        ex = random_execution(generators.star(3), rng, steps=10)
+        oracle = HappenedBeforeOracle(ex)
+        pred = lambda c: sum(c) == 3
+        if definitely(oracle, pred):
+            assert possibly(oracle, pred) is not None
+
+
+class TestInlineIntegration:
+    def test_witness_within_finalized_cut(self):
+        g = generators.star(3)
+        b = ExecutionBuilder(3, graph=g)
+        m1 = b.send(1, 0)
+        m2 = b.send(2, 0)
+        b.receive(0, m1)
+        b.receive(0, m2)
+        ex = b.freeze()
+        asg = replay_one(ex, StarInlineClock(3), finalize=False)
+        witness, limit = possibly_with_inline(
+            asg, lambda c: c[1] >= 1 and c[2] >= 1
+        )
+        assert witness is not None
+        # the witness lies inside the finalized cut
+        assert all(w <= l for w, l in zip(witness, limit))
+
+    def test_not_yet_detectable(self):
+        g = generators.star(3)
+        b = ExecutionBuilder(3, graph=g)
+        b.local(1)  # never finalizes during the run
+        ex = b.freeze()
+        asg = replay_one(ex, StarInlineClock(3), finalize=False)
+        witness, limit = possibly_with_inline(asg, lambda c: c[1] >= 1)
+        assert witness is None
+        assert limit == (0, 0, 0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_inline_witness_always_valid_globally(self, seed):
+        """A witness found in the sublattice is a witness in the full
+        lattice (monotonicity of the Section-6 recipe)."""
+        rng = random.Random(seed)
+        ex = random_execution(generators.star(4), rng, steps=18)
+        oracle = HappenedBeforeOracle(ex)
+        asg = replay_one(ex, StarInlineClock(4), finalize=False)
+        pred = lambda c: sum(c) >= 4
+        witness, _limit = possibly_with_inline(asg, pred, oracle=oracle)
+        if witness is not None:
+            assert is_consistent(oracle, witness)
+            assert pred(witness)

@@ -1,0 +1,108 @@
+"""Tests for checkpointing and recovery-line computation."""
+
+import pytest
+
+from repro.applications.recovery import (
+    periodic_checkpoints,
+    recovery_line,
+    recovery_line_lag,
+)
+from repro.clocks import StarInlineClock, VectorClock
+from repro.core import ExecutionBuilder, HappenedBeforeOracle
+from repro.core.cuts import cut_size, is_consistent
+from repro.sim import ConstantDelay, Simulation, UniformWorkload
+from repro.topology import generators
+
+
+class TestCheckpoints:
+    def test_periodic_positions(self, small_star_execution):
+        cps = periodic_checkpoints(small_star_execution, every_k=2)
+        assert cps[0] == [2, 4]  # p0 has 4 events
+        assert cps[3] == []  # p3 has 1 event only
+
+    def test_invalid_interval(self, small_star_execution):
+        with pytest.raises(ValueError):
+            periodic_checkpoints(small_star_execution, every_k=0)
+
+
+class TestRecoveryLine:
+    def test_full_checkpoints_consistent(self, small_oracle):
+        ex = small_oracle.execution
+        cps = {p: [len(ex.events_at(p))] if ex.events_at(p) else []
+               for p in range(4)}
+        line = recovery_line(small_oracle, cps)
+        assert line == tuple(len(ex.events_at(p)) for p in range(4))
+
+    def test_domino_demotion(self):
+        """p1 checkpoints after receiving from p0; if p0's checkpoint is
+        before its send, p1 must roll back too."""
+        b = ExecutionBuilder(2)
+        b.local(0)  # e1@p0   <- p0's only checkpoint here
+        m = b.send(0, 1)  # e2@p0
+        b.receive(1, m)  # e1@p1
+        b.local(1)  # e2@p1  <- p1 checkpoints here (depends on e2@p0)
+        ex = b.freeze()
+        oracle = HappenedBeforeOracle(ex)
+        line = recovery_line(oracle, {0: [1], 1: [2]})
+        # p1's checkpoint depends on e2@p0 which is beyond p0's checkpoint
+        assert line == (1, 0)
+
+    def test_line_is_always_consistent(self, small_oracle):
+        cps = periodic_checkpoints(small_oracle.execution, every_k=2)
+        line = recovery_line(small_oracle, cps)
+        assert is_consistent(small_oracle, line)
+
+    def test_allowed_filter_restricts(self, small_oracle):
+        ex = small_oracle.execution
+        cps = periodic_checkpoints(ex, every_k=1)
+        full = recovery_line(small_oracle, cps)
+        restricted = recovery_line(
+            small_oracle, cps, allowed=lambda e: e.proc != 0 or e.index <= 1
+        )
+        assert cut_size(restricted) <= cut_size(full)
+        assert restricted[0] <= 1
+
+    def test_out_of_range_checkpoint(self, small_oracle):
+        with pytest.raises(ValueError):
+            recovery_line(small_oracle, {0: [99]})
+
+
+class TestRecoveryLag:
+    def run_sim(self):
+        g = generators.star(5)
+        sim = Simulation(
+            g,
+            seed=2,
+            clocks={"inline": StarInlineClock(5), "vector": VectorClock(5)},
+            delay_model=ConstantDelay(1.0),
+        )
+        return sim.run(UniformWorkload(events_per_process=15, p_local=0.3))
+
+    def test_inline_line_never_ahead(self):
+        res = self.run_sim()
+        for frac in (0.25, 0.5, 0.75, 1.0):
+            cmp = recovery_line_lag(
+                res, "inline", failure_time=res.duration * frac, every_k=3
+            )
+            assert cmp.lag_events >= 0
+            assert cmp.inline_events <= cmp.online_events
+
+    def test_online_clock_has_zero_lag(self):
+        res = self.run_sim()
+        cmp = recovery_line_lag(
+            res, "vector", failure_time=res.duration / 2, every_k=3
+        )
+        assert cmp.lag_events == 0
+
+    def test_lag_vanishes_after_quiescence(self):
+        """At the end of the run (plus control delivery), inline and online
+        lines coincide except for events whose controls never flowed."""
+        res = self.run_sim()
+        cmp = recovery_line_lag(
+            res, "inline", failure_time=res.duration, every_k=1
+        )
+        # lag bounded by the events still awaiting finalization
+        unfinalized = res.execution.n_events - len(
+            res.finalization_times["inline"]
+        )
+        assert cmp.lag_events <= unfinalized

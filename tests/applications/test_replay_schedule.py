@@ -1,0 +1,83 @@
+"""Tests for timestamp-driven replay."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.applications.replay import is_causal_schedule, replay_schedule
+from repro.clocks import CoverInlineClock, StarInlineClock, VectorClock, replay_one
+from repro.core import HappenedBeforeOracle
+from repro.core.events import EventId
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+
+class TestReplaySchedule:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_vector_clock_schedule_is_causal(self, seed):
+        rng = random.Random(seed)
+        g = generators.erdos_renyi(5, 0.4, rng)
+        ex = random_execution(g, rng, steps=25)
+        asg = replay_one(ex, VectorClock(5))
+        order = replay_schedule(asg)
+        assert is_causal_schedule(ex, order)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_inline_schedule_is_causal(self, seed):
+        rng = random.Random(seed)
+        g = generators.star(5)
+        ex = random_execution(g, rng, steps=25)
+        asg = replay_one(ex, StarInlineClock(5))
+        order = replay_schedule(asg)
+        assert is_causal_schedule(ex, order)
+
+    def test_deterministic(self, small_star_execution):
+        asg = replay_one(small_star_execution, VectorClock(4))
+        assert replay_schedule(asg) == replay_schedule(asg)
+
+    def test_subset_replay(self, small_star_execution):
+        asg = replay_one(small_star_execution, VectorClock(4))
+        subset = [EventId(0, 1), EventId(1, 1), EventId(0, 2)]
+        order = replay_schedule(asg, events=subset)
+        assert set(order) == set(subset)
+        assert is_causal_schedule(small_star_execution, order)
+
+    def test_missing_timestamp_rejected(self, small_star_execution):
+        asg = replay_one(small_star_execution, StarInlineClock(4), finalize=False)
+        missing = [
+            ev.eid
+            for ev in small_star_execution.all_events()
+            if ev.eid not in asg
+        ]
+        if missing:
+            with pytest.raises(ValueError):
+                replay_schedule(
+                    asg, events=[ev.eid for ev in small_star_execution.all_events()]
+                )
+
+
+class TestScheduleVerifier:
+    def test_rejects_reordered_process_events(self, small_star_execution):
+        ids = [ev.eid for ev in small_star_execution.all_events()]
+        bad = list(ids)
+        # swap two events of p0
+        i1 = bad.index(EventId(0, 1))
+        i2 = bad.index(EventId(0, 2))
+        bad[i1], bad[i2] = bad[i2], bad[i1]
+        assert not is_causal_schedule(small_star_execution, bad)
+
+    def test_rejects_duplicates(self, small_star_execution):
+        ids = [ev.eid for ev in small_star_execution.all_events()]
+        assert not is_causal_schedule(small_star_execution, ids + [ids[0]])
+
+    def test_rejects_foreign_events(self, small_star_execution):
+        assert not is_causal_schedule(
+            small_star_execution, [EventId(0, 99)]
+        )
+
+    def test_accepts_delivery_order(self, small_star_execution):
+        order = [ev.eid for ev in small_star_execution.delivery_order()]
+        assert is_causal_schedule(small_star_execution, order)

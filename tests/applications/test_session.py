@@ -1,0 +1,91 @@
+"""Tests for the time-travel analysis session."""
+
+import pytest
+
+from repro.applications.session import AnalysisSession
+from repro.clocks import StarInlineClock, VectorClock
+from repro.core.cuts import cut_size, is_consistent
+from repro.sim import ConstantDelay, Simulation, UniformWorkload
+from repro.topology import generators
+
+
+@pytest.fixture(scope="module")
+def run():
+    g = generators.star(5)
+    sim = Simulation(
+        g,
+        seed=9,
+        clocks={"inline": StarInlineClock(5), "vector": VectorClock(5)},
+        delay_model=ConstantDelay(1.0),
+    )
+    return sim.run(UniformWorkload(events_per_process=15, p_local=0.3))
+
+
+class TestSnapshots:
+    def test_unknown_clock_rejected(self, run):
+        with pytest.raises(KeyError):
+            AnalysisSession(run, "nope")
+
+    def test_before_start_empty(self, run):
+        session = AnalysisSession(run, "inline")
+        snap = session.snapshot(-1.0)
+        assert snap.finalized_events == 0
+        assert snap.occurred_events == 0
+
+    def test_monotone_knowledge(self, run):
+        session = AnalysisSession(run, "inline")
+        curve = session.knowledge_curve(8)
+        for a, b in zip(curve, curve[1:]):
+            assert a.finalized_events <= b.finalized_events
+            assert a.occurred_events <= b.occurred_events
+
+    def test_gap_nonnegative_and_closes(self, run):
+        session = AnalysisSession(run, "inline")
+        curve = session.knowledge_curve(8)
+        for snap in curve:
+            assert snap.knowledge_gap >= 0
+        # by the end most knowledge is finalized
+        assert curve[-1].knowledge_gap <= run.execution.n_events * 0.2
+
+    def test_online_clock_has_no_gap(self, run):
+        session = AnalysisSession(run, "vector")
+        for snap in session.knowledge_curve(6):
+            assert snap.knowledge_gap == 0
+
+    def test_cuts_always_consistent(self, run):
+        session = AnalysisSession(run, "inline")
+        for snap in session.knowledge_curve(10):
+            assert is_consistent(session.oracle, snap.finalized_cut)
+
+
+class TestQueries:
+    def test_recovery_line_within_finalized_cut(self, run):
+        session = AnalysisSession(run, "inline")
+        t = run.duration / 2
+        line = session.recovery_line_at(t, every_k=3)
+        snap = session.snapshot(t)
+        assert all(
+            l <= c for l, c in zip(line, snap.finalized_cut)
+        )
+        assert is_consistent(session.oracle, line)
+
+    def test_detection_grows_monotone(self, run):
+        session = AnalysisSession(run, "inline")
+        ex = run.execution
+        marks = {
+            p: list(range(2, len(ex.events_at(p)) + 1))
+            for p in range(1, 5)
+            if len(ex.events_at(p)) >= 2
+        }
+        found_at = [
+            session.detect_at(t, marks).found
+            for t in (0.0, run.duration / 2, run.duration)
+        ]
+        # once detectable, stays detectable (marks only accumulate)
+        for a, b in zip(found_at, found_at[1:]):
+            assert (not a) or b
+
+    def test_curve_point_validation(self, run):
+        session = AnalysisSession(run, "inline")
+        with pytest.raises(ValueError):
+            session.knowledge_curve(1)

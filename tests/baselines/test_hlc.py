@@ -1,0 +1,119 @@
+"""Tests for Hybrid Logical Clocks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.hlc import (
+    HLCTimestamp,
+    HybridLogicalClock,
+    counter_time_source,
+)
+from repro.clocks import replay_one
+from repro.core import ExecutionBuilder
+from repro.core.random_executions import random_execution
+from repro.sim import Simulation, UniformWorkload
+from repro.topology import generators
+
+
+class TestTimestamp:
+    def test_lexicographic_order(self):
+        a = HLCTimestamp(1.0, 0, 0)
+        b = HLCTimestamp(1.0, 1, 0)
+        c = HLCTimestamp(2.0, 0, 1)
+        assert a.precedes(b) and b.precedes(c)
+        assert not c.precedes(a)
+
+    def test_two_elements(self):
+        assert HLCTimestamp(1.0, 3, 0).n_elements == 2
+
+    def test_cross_scheme_rejected(self):
+        from repro.clocks.lamport import LamportTimestamp
+
+        with pytest.raises(TypeError):
+            HLCTimestamp(1.0, 0, 0).precedes(LamportTimestamp(1, 0))
+
+
+class TestConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_consistent_on_random_executions(self, seed):
+        rng = random.Random(seed)
+        g = generators.erdos_renyi(5, 0.5, rng)
+        ex = random_execution(g, rng, steps=30)
+        clock = HybridLogicalClock(5, counter_time_source())
+        report = replay_one(ex, clock).validate()
+        assert report.is_consistent
+
+    def test_not_characterizing(self):
+        b = ExecutionBuilder(2)
+        b.local(0)
+        b.local(1)
+        ex = b.freeze()
+        clock = HybridLogicalClock(2, counter_time_source())
+        report = replay_one(ex, clock).validate()
+        assert report.is_consistent
+        assert not report.characterizes
+
+
+class TestUpdateRules:
+    def test_l_tracks_physical_time(self):
+        """With synchronized increasing clocks, l == pt and c == 0."""
+        b = ExecutionBuilder(1)
+        clock = HybridLogicalClock(1, counter_time_source())
+        for _ in range(4):
+            ev = b.local(0)
+            clock.on_local(ev)
+            ts = clock.timestamp(ev.eid)
+            assert ts is not None and ts.c == 0
+            assert ts.l == float(ev.index)  # counter source: pt = #calls
+
+    def test_c_increments_when_clock_stalls(self):
+        """A frozen physical clock degrades HLC to a Lamport-style c."""
+        frozen = lambda _p: 5.0
+        b = ExecutionBuilder(1)
+        clock = HybridLogicalClock(1, frozen)
+        cs = []
+        for _ in range(3):
+            ev = b.local(0)
+            clock.on_local(ev)
+            cs.append(clock.timestamp(ev.eid).c)
+        assert cs == [0, 1, 2]
+
+    def test_receive_adopts_faster_sender(self):
+        """A receiver with a slow clock adopts the sender's larger l."""
+        times = {0: 100.0, 1: 1.0}
+        source = lambda p: times[p]
+        b = ExecutionBuilder(2)
+        clock = HybridLogicalClock(2, source)
+        m = b.send(0, 1)
+        payload = clock.on_send(b.last_event(0))
+        recv = b.receive(1, m)
+        clock.on_receive(recv, payload)
+        ts = clock.timestamp(recv.eid)
+        assert ts is not None
+        assert ts.l == 100.0  # adopted from sender
+        assert ts.c == 1  # l == l_m branch
+
+    def test_drift_bounded_by_skew(self):
+        """l never exceeds the largest physical reading in the causal past:
+        drift-from-own-clock is bounded by the inter-process skew."""
+        skews = {p: 10.0 * p for p in range(4)}
+        base = {"t": 0.0}
+
+        def source(p):
+            base["t"] += 0.01
+            return base["t"] + skews[p]
+
+        g = generators.star(4)
+        sim = Simulation(
+            g, seed=1,
+            clocks={"hlc": HybridLogicalClock(4, source)},
+        )
+        res = sim.run(UniformWorkload(events_per_process=20, p_local=0.2))
+        clock = res.assignments["hlc"].algorithm
+        assert isinstance(clock, HybridLogicalClock)
+        max_skew = max(skews.values()) - min(skews.values())
+        for p in range(4):
+            assert 0 <= clock.drift_from_physical(p) <= max_skew + 1.0

@@ -1,0 +1,73 @@
+"""Tests for plausible (REV) clocks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import PlausibleClock
+from repro.clocks import VectorClock, replay, replay_one
+from repro.core import ExecutionBuilder
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+
+class TestConstruction:
+    def test_entry_bounds(self):
+        with pytest.raises(ValueError):
+            PlausibleClock(4, 0)
+        with pytest.raises(ValueError):
+            PlausibleClock(4, 5)
+
+    def test_full_entries_equals_vector_clock(self):
+        """With R = n the plausible clock is an exact vector clock."""
+        g = generators.star(4)
+        ex = random_execution(g, random.Random(1), steps=30)
+        p_asg, v_asg = replay(ex, [PlausibleClock(4, 4), VectorClock(4)])
+        for ev in ex.all_events():
+            assert p_asg[ev.eid].vector == v_asg[ev.eid].vector
+        assert p_asg.validate().characterizes
+
+
+class TestPlausibility:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        entries=st.integers(1, 4),
+    )
+    def test_always_consistent(self, seed, entries):
+        rng = random.Random(seed)
+        g = generators.erdos_renyi(5, 0.5, rng)
+        ex = random_execution(g, rng, steps=30)
+        report = replay_one(ex, PlausibleClock(5, entries)).validate()
+        assert report.is_consistent
+
+    def test_small_r_misorders_concurrent_events(self):
+        """Two processes sharing one entry: concurrent events look ordered."""
+        b = ExecutionBuilder(2)
+        b.local(0)
+        b.local(1)
+        b.local(1)
+        ex = b.freeze()
+        report = replay_one(ex, PlausibleClock(2, 1)).validate()
+        assert report.is_consistent
+        assert report.false_positives
+
+    def test_size_is_r(self):
+        b = ExecutionBuilder(4)
+        b.local(2)
+        ex = b.freeze()
+        asg = replay_one(ex, PlausibleClock(4, 2))
+        assert asg.max_elements() == 2
+
+    def test_accuracy_improves_with_entries(self):
+        """More entries => no more false positives than fewer entries."""
+        rng = random.Random(7)
+        g = generators.clique(6)
+        ex = random_execution(g, rng, steps=60)
+        rates = []
+        for r in (1, 3, 6):
+            report = replay_one(ex, PlausibleClock(6, r)).validate()
+            rates.append(report.false_positive_rate)
+        assert rates[0] >= rates[1] >= rates[2]
+        assert rates[2] == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the Lamport scalar clock baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import LamportClock, replay_one
+from repro.clocks.lamport import LamportTimestamp
+from repro.core import HappenedBeforeOracle
+from repro.core.events import EventId
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+
+class TestLamportBasics:
+    def test_single_process_counts(self):
+        from repro.core import ExecutionBuilder
+
+        b = ExecutionBuilder(1)
+        b.local(0)
+        b.local(0)
+        ex = b.freeze()
+        asg = replay_one(ex, LamportClock(1))
+        assert asg[EventId(0, 1)].clock == 1
+        assert asg[EventId(0, 2)].clock == 2
+
+    def test_receive_jumps_past_sender(self):
+        from repro.core import ExecutionBuilder
+
+        b = ExecutionBuilder(2)
+        b.local(0)
+        b.local(0)
+        m = b.send(0, 1)  # clock 3 at p0
+        b.receive(1, m)  # must be > 3
+        ex = b.freeze()
+        asg = replay_one(ex, LamportClock(2))
+        assert asg[EventId(1, 1)].clock == 4
+
+    def test_all_final_immediately(self, small_star_execution):
+        asg = replay_one(small_star_execution, LamportClock(4))
+        assert asg.finalized_during_run == {
+            ev.eid for ev in small_star_execution.all_events()
+        }
+
+    def test_single_element(self, small_star_execution):
+        asg = replay_one(small_star_execution, LamportClock(4))
+        assert asg.max_elements() == 1
+
+    def test_cross_scheme_comparison_rejected(self):
+        from repro.clocks.vector import VectorTimestamp
+
+        with pytest.raises(TypeError):
+            LamportTimestamp(1, 0).precedes(VectorTimestamp((1,)))
+
+
+class TestLamportConsistency:
+    """Lamport clocks are consistent but not characterizing."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_consistent_on_random_executions(self, seed):
+        rng = random.Random(seed)
+        graph = generators.erdos_renyi(5, 0.5, rng)
+        ex = random_execution(graph, rng, steps=30)
+        asg = replay_one(ex, LamportClock(5))
+        report = asg.validate()
+        assert report.is_consistent
+
+    def test_not_characterizing_example(self):
+        """Two concurrent events get ordered clock values."""
+        from repro.core import ExecutionBuilder
+
+        b = ExecutionBuilder(2)
+        b.local(0)
+        b.local(0)
+        b.local(1)  # concurrent with both of p0's events
+        ex = b.freeze()
+        asg = replay_one(ex, LamportClock(2))
+        report = asg.validate()
+        assert report.is_consistent
+        assert not report.characterizes
+        assert report.false_positives

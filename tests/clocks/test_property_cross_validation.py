@@ -1,0 +1,140 @@
+"""Property-based cross-validation of every scheme on random systems.
+
+The single most important invariant in the library: on any execution over
+any topology, every *characterizing* scheme must agree exactly with the
+ground-truth happened-before oracle, and every *consistent* scheme must
+never contradict it.  Hypothesis drives topology family, size, seed and
+workload length.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import ClusterClock, EncodedClock, PlausibleClock
+from repro.clocks import (
+    CoverInlineClock,
+    LamportClock,
+    StarInlineClock,
+    VectorClock,
+    replay,
+)
+from repro.core import HappenedBeforeOracle
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+
+def build_graph(family: str, n: int, seed: int):
+    rng = random.Random(seed)
+    if family == "star":
+        return generators.star(max(2, n))
+    if family == "cycle":
+        return generators.cycle(max(3, n))
+    if family == "path":
+        return generators.path(max(2, n))
+    if family == "clique":
+        return generators.clique(max(2, min(n, 5)))
+    if family == "double_star":
+        return generators.double_star(max(1, n // 2), max(1, n // 2))
+    if family == "random":
+        return generators.erdos_renyi(max(2, n), 0.35, rng)
+    if family == "bipartite":
+        return generators.complete_bipartite(max(1, n // 3), max(1, n - n // 3))
+    raise AssertionError(family)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    family=st.sampled_from(
+        ["star", "cycle", "path", "clique", "double_star", "random", "bipartite"]
+    ),
+    n=st.integers(2, 8),
+    seed=st.integers(0, 100_000),
+    steps=st.integers(0, 60),
+)
+def test_all_schemes_cross_validate(family, n, seed, steps):
+    graph = build_graph(family, n, seed)
+    n_actual = graph.n_vertices
+    ex = random_execution(graph, random.Random(seed ^ 0xABCDEF), steps=steps)
+    oracle = HappenedBeforeOracle(ex)
+
+    algos = [
+        VectorClock(n_actual),
+        CoverInlineClock(graph),
+        LamportClock(n_actual),
+        EncodedClock(n_actual),
+        ClusterClock(n_actual),
+        PlausibleClock(n_actual, max(1, n_actual // 2)),
+    ]
+    assignments = replay(ex, algos)
+    for asg in assignments:
+        report = asg.validate(oracle)
+        assert report.is_consistent, (family, asg.algorithm.name, report)
+        if asg.algorithm.characterizes_causality:
+            assert report.characterizes, (family, asg.algorithm.name, report)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 9),
+    seed=st.integers(0, 100_000),
+    steps=st.integers(0, 60),
+)
+def test_star_and_cover_agree_on_stars(n, seed, steps):
+    graph = generators.star(max(2, n))
+    ex = random_execution(graph, random.Random(seed), steps=steps)
+    star_asg, cover_asg = replay(
+        ex,
+        [StarInlineClock(graph.n_vertices), CoverInlineClock(graph, (0,))],
+    )
+    ids = [ev.eid for ev in ex.all_events()]
+    for e in ids:
+        for f in ids:
+            if e != f:
+                assert star_asg.precedes(e, f) == cover_asg.precedes(e, f)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    steps=st.integers(0, 40),
+)
+def test_comparison_is_strict_partial_order(seed, steps):
+    """Every scheme's `precedes` must be irreflexive and transitive on the
+    timestamps of one execution — a nontrivial derived property for the
+    inline operators (Theorems 3.1/4.1 give iff-causality, which implies
+    it, but this checks the operator directly)."""
+    rng = random.Random(seed)
+    graph = generators.erdos_renyi(rng.randint(2, 6), 0.4, rng)
+    n = graph.n_vertices
+    ex = random_execution(graph, random.Random(seed ^ 0x5EED), steps=steps)
+    algos = [
+        VectorClock(n),
+        CoverInlineClock(graph),
+        EncodedClock(n),
+        PlausibleClock(n, max(1, n // 2)),
+    ]
+    for asg in replay(ex, algos):
+        ids = [ev.eid for ev in ex.all_events()]
+        for e in ids:
+            assert not asg.precedes(e, e)
+            for f in ids:
+                if asg.precedes(e, f):
+                    assert not asg.precedes(f, e)
+                for g2 in ids:
+                    if asg.precedes(e, f) and asg.precedes(f, g2):
+                        assert asg.precedes(e, g2), (
+                            asg.algorithm.name, e, f, g2,
+                        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), steps=st.integers(0, 50))
+def test_inline_size_bound_always_holds(seed, steps):
+    """Theorem 4.2 as a universal property."""
+    rng = random.Random(seed)
+    graph = generators.erdos_renyi(rng.randint(2, 8), 0.4, rng)
+    clock = CoverInlineClock(graph)
+    ex = random_execution(graph, rng, steps=steps)
+    asg = replay(ex, [clock])[0]
+    assert asg.max_elements() <= 2 * len(clock.cover) + 2

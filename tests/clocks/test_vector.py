@@ -1,0 +1,80 @@
+"""Tests for the standard Fidge/Mattern vector clock."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import VectorClock, replay_one
+from repro.clocks.base import vector_leq, vector_lt
+from repro.clocks.vector import VectorTimestamp
+from repro.core import ExecutionBuilder, HappenedBeforeOracle
+from repro.core.events import EventId
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+
+class TestVectorComparison:
+    def test_leq(self):
+        assert vector_leq((1, 2), (1, 3))
+        assert vector_leq((1, 2), (1, 2))
+        assert not vector_leq((2, 1), (1, 2))
+
+    def test_lt_requires_difference(self):
+        assert vector_lt((1, 2), (1, 3))
+        assert not vector_lt((1, 2), (1, 2))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            vector_leq((1,), (1, 2))
+
+    def test_timestamp_indexing(self):
+        ts = VectorTimestamp((3, 1, 4))
+        assert ts[0] == 3 and ts[2] == 4
+        assert ts.n_elements == 3
+
+
+class TestVectorClockValues:
+    def test_own_entry_counts_events(self, small_star_execution):
+        asg = replay_one(small_star_execution, VectorClock(4))
+        for ev in small_star_execution.all_events():
+            assert asg[ev.eid][ev.proc] == ev.index
+
+    def test_matches_oracle_vectors(self, small_star_execution):
+        """The clock's vectors must equal the oracle's reference vectors."""
+        oracle = HappenedBeforeOracle(small_star_execution)
+        asg = replay_one(small_star_execution, VectorClock(4))
+        for ev in small_star_execution.all_events():
+            assert asg[ev.eid].vector == oracle.vector_clock(ev.eid)
+
+    def test_receive_merges(self):
+        b = ExecutionBuilder(3)
+        m1 = b.send(0, 2)
+        m2 = b.send(1, 2)
+        b.receive(2, m1)
+        b.receive(2, m2)
+        ex = b.freeze()
+        asg = replay_one(ex, VectorClock(3))
+        assert asg[EventId(2, 2)].vector == (1, 1, 2)
+
+
+class TestVectorClockCharacterizes:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_exact_on_random_executions(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 7)
+        graph = generators.erdos_renyi(n, 0.5, rng)
+        ex = random_execution(graph, rng, steps=30)
+        asg = replay_one(ex, VectorClock(n))
+        report = asg.validate()
+        assert report.characterizes, report
+
+    def test_all_final_immediately(self, small_star_execution):
+        asg = replay_one(small_star_execution, VectorClock(4))
+        assert len(asg.finalized_during_run) == small_star_execution.n_events
+
+    def test_size_is_n(self, small_star_execution):
+        asg = replay_one(small_star_execution, VectorClock(4))
+        assert asg.max_elements() == 4
+        assert asg.mean_elements() == 4.0

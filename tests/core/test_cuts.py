@@ -1,0 +1,137 @@
+"""Tests for consistent cuts."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ExecutionBuilder, HappenedBeforeOracle
+from repro.core.cuts import (
+    cut_from_events,
+    cut_size,
+    empty_cut,
+    events_in_cut,
+    frontier,
+    full_cut,
+    is_consistent,
+    join,
+    max_consistent_cut_within,
+    meet,
+)
+from repro.core.events import EventId
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+
+class TestBasicCuts:
+    def test_empty_and_full_are_consistent(self, small_oracle):
+        assert is_consistent(small_oracle, empty_cut(4))
+        assert is_consistent(small_oracle, full_cut(small_oracle))
+
+    def test_inconsistent_cut_detected(self, small_oracle):
+        # include p0's receive of m0 but not p1's send: inconsistent
+        cut = (1, 0, 0, 0)
+        assert not is_consistent(small_oracle, cut)
+
+    def test_consistent_prefix(self, small_oracle):
+        # p1's send alone is consistent
+        assert is_consistent(small_oracle, (0, 1, 0, 0))
+
+    def test_wrong_length_rejected(self, small_oracle):
+        with pytest.raises(ValueError):
+            is_consistent(small_oracle, (0, 0))
+
+    def test_out_of_range_rejected(self, small_oracle):
+        with pytest.raises(ValueError):
+            is_consistent(small_oracle, (99, 0, 0, 0))
+
+    def test_events_in_cut(self, small_oracle):
+        evs = events_in_cut(small_oracle, (2, 1, 0, 0))
+        assert evs == {EventId(0, 1), EventId(0, 2), EventId(1, 1)}
+
+    def test_cut_size(self):
+        assert cut_size((2, 1, 0, 3)) == 6
+
+    def test_frontier(self, small_oracle):
+        f = frontier(small_oracle, (2, 1, 0, 0))
+        assert set(f) == {EventId(0, 2), EventId(1, 1)}
+
+
+class TestLatticeOperations:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_join_meet_preserve_consistency(self, seed):
+        rng = random.Random(seed)
+        graph = generators.star(4)
+        ex = random_execution(graph, rng, steps=20)
+        oracle = HappenedBeforeOracle(ex)
+        # build two consistent cuts from random event sets
+        ids = [ev.eid for ev in ex.all_events()]
+        if not ids:
+            return
+        a = cut_from_events(oracle, rng.sample(ids, min(3, len(ids))))
+        b = cut_from_events(oracle, rng.sample(ids, min(3, len(ids))))
+        assert is_consistent(oracle, a)
+        assert is_consistent(oracle, b)
+        assert is_consistent(oracle, join(a, b))
+        assert is_consistent(oracle, meet(a, b))
+
+    def test_cut_from_events_minimal(self, small_oracle):
+        cut = cut_from_events(small_oracle, [EventId(2, 1)])
+        assert is_consistent(small_oracle, cut)
+        # must contain the causal past exactly
+        assert cut == (2, 1, 1, 0)
+
+
+class TestMaxConsistentCutWithin:
+    def test_full_when_all_allowed(self, small_oracle):
+        cut = max_consistent_cut_within(small_oracle, lambda e: True)
+        assert cut == full_cut(small_oracle)
+
+    def test_empty_when_none_allowed(self, small_oracle):
+        cut = max_consistent_cut_within(small_oracle, lambda e: False)
+        assert cut == empty_cut(4)
+
+    def test_removal_propagates(self, small_oracle):
+        # forbid p1's send: p0's receive (and everything after at p0,
+        # and p2's receive of the relay) must go too
+        banned = EventId(1, 1)
+        cut = max_consistent_cut_within(small_oracle, lambda e: e != banned)
+        assert cut[1] == 0
+        assert cut[0] == 0  # p0's first event receives m0
+        assert cut[2] == 0
+        assert cut[3] == 1  # p3's local event unaffected
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_result_is_consistent_and_allowed(self, seed):
+        rng = random.Random(seed)
+        graph = generators.double_star(2, 2)
+        ex = random_execution(graph, rng, steps=25)
+        oracle = HappenedBeforeOracle(ex)
+        ids = [ev.eid for ev in ex.all_events()]
+        banned = set(rng.sample(ids, len(ids) // 3)) if ids else set()
+        cut = max_consistent_cut_within(oracle, lambda e: e not in banned)
+        assert is_consistent(oracle, cut)
+        assert not (events_in_cut(oracle, cut) & banned)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_maximality(self, seed):
+        """No single process can be extended without breaking the rules."""
+        rng = random.Random(seed)
+        graph = generators.star(4)
+        ex = random_execution(graph, rng, steps=20)
+        oracle = HappenedBeforeOracle(ex)
+        ids = [ev.eid for ev in ex.all_events()]
+        banned = set(rng.sample(ids, len(ids) // 4)) if ids else set()
+        allowed = lambda e: e not in banned
+        cut = max_consistent_cut_within(oracle, allowed)
+        for p in range(ex.n_processes):
+            if cut[p] < len(ex.events_at(p)):
+                extended = list(cut)
+                extended[p] += 1
+                new_event = ex.events_at(p)[cut[p]].eid
+                assert (not allowed(new_event)) or not is_consistent(
+                    oracle, tuple(extended)
+                )

@@ -1,0 +1,95 @@
+"""Unit tests for the event/message value objects."""
+
+import pytest
+
+from repro.core.events import Event, EventId, EventKind, Message
+
+
+class TestEventId:
+    def test_fields(self):
+        eid = EventId(2, 5)
+        assert eid.proc == 2
+        assert eid.index == 5
+
+    def test_str(self):
+        assert str(EventId(3, 1)) == "e1@p3"
+
+    def test_rejects_negative_process(self):
+        with pytest.raises(ValueError):
+            EventId(-1, 1)
+
+    def test_rejects_zero_index(self):
+        with pytest.raises(ValueError):
+            EventId(0, 0)
+
+    def test_ordering_is_deterministic(self):
+        ids = [EventId(1, 2), EventId(0, 9), EventId(1, 1)]
+        assert sorted(ids) == [EventId(0, 9), EventId(1, 1), EventId(1, 2)]
+
+    def test_hashable_and_equal(self):
+        assert EventId(1, 1) == EventId(1, 1)
+        assert len({EventId(1, 1), EventId(1, 1), EventId(1, 2)}) == 2
+
+
+class TestEvent:
+    def test_local_event(self):
+        ev = Event(EventId(0, 1), EventKind.LOCAL)
+        assert ev.is_local and not ev.is_send and not ev.is_receive
+        assert ev.proc == 0 and ev.index == 1
+
+    def test_send_event(self):
+        ev = Event(EventId(0, 1), EventKind.SEND, msg_id=7, peer=3)
+        assert ev.is_send
+        assert ev.msg_id == 7
+        assert ev.peer == 3
+
+    def test_receive_event(self):
+        ev = Event(EventId(2, 4), EventKind.RECEIVE, msg_id=0, peer=0)
+        assert ev.is_receive
+
+    def test_local_event_rejects_message(self):
+        with pytest.raises(ValueError):
+            Event(EventId(0, 1), EventKind.LOCAL, msg_id=1, peer=2)
+
+    def test_send_requires_message(self):
+        with pytest.raises(ValueError):
+            Event(EventId(0, 1), EventKind.SEND)
+
+    def test_peer_must_differ(self):
+        with pytest.raises(ValueError):
+            Event(EventId(0, 1), EventKind.SEND, msg_id=0, peer=0)
+
+    def test_str_representation(self):
+        ev = Event(EventId(1, 2), EventKind.SEND, msg_id=3, peer=0)
+        assert "e2@p1" in str(ev)
+        assert "m3" in str(ev)
+
+
+class TestMessage:
+    def test_basic(self):
+        m = Message(0, src=1, dst=2, send_event=EventId(1, 1))
+        assert not m.delivered
+        assert m.recv_event is None
+
+    def test_with_receive(self):
+        m = Message(0, src=1, dst=2, send_event=EventId(1, 1))
+        m2 = m.with_receive(EventId(2, 1))
+        assert m2.delivered
+        assert not m.delivered  # immutability
+
+    def test_double_receive_rejected(self):
+        m = Message(0, 1, 2, EventId(1, 1)).with_receive(EventId(2, 1))
+        with pytest.raises(ValueError):
+            m.with_receive(EventId(2, 2))
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, 1, EventId(1, 1))
+
+    def test_send_event_must_be_at_source(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, 2, EventId(2, 1))
+
+    def test_recv_event_must_be_at_destination(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, 2, EventId(1, 1), recv_event=EventId(1, 2))

@@ -1,0 +1,145 @@
+"""Unit tests for ExecutionBuilder / Execution."""
+
+import pytest
+
+from repro.core.events import EventId, EventKind
+from repro.core.execution import ExecutionBuilder, ExecutionError
+from repro.topology import generators
+
+
+class TestBuilderValidation:
+    def test_needs_a_process(self):
+        with pytest.raises(ExecutionError):
+            ExecutionBuilder(0)
+
+    def test_graph_size_must_match(self):
+        with pytest.raises(ExecutionError):
+            ExecutionBuilder(3, graph=generators.star(4))
+
+    def test_rejects_self_message(self):
+        b = ExecutionBuilder(2)
+        with pytest.raises(ExecutionError):
+            b.send(0, 0)
+
+    def test_rejects_out_of_range_destination(self):
+        b = ExecutionBuilder(2)
+        with pytest.raises(ExecutionError):
+            b.send(0, 5)
+
+    def test_rejects_out_of_range_process(self):
+        b = ExecutionBuilder(2)
+        with pytest.raises(ExecutionError):
+            b.local(2)
+
+    def test_rejects_non_edge_send(self):
+        b = ExecutionBuilder(4, graph=generators.star(4))
+        with pytest.raises(ExecutionError):
+            b.send(1, 2)  # radial to radial
+
+    def test_rejects_unknown_message(self):
+        b = ExecutionBuilder(2)
+        with pytest.raises(ExecutionError):
+            b.receive(1, 0)
+
+    def test_rejects_wrong_recipient(self):
+        b = ExecutionBuilder(3)
+        m = b.send(0, 1)
+        with pytest.raises(ExecutionError):
+            b.receive(2, m)
+
+    def test_rejects_double_delivery(self):
+        b = ExecutionBuilder(2)
+        m = b.send(0, 1)
+        b.receive(1, m)
+        with pytest.raises(ExecutionError):
+            b.receive(1, m)
+
+    def test_frozen_builder_rejects_everything(self):
+        b = ExecutionBuilder(2)
+        b.freeze()
+        with pytest.raises(ExecutionError):
+            b.local(0)
+        with pytest.raises(ExecutionError):
+            b.freeze()
+
+
+class TestExecutionStructure:
+    def test_event_indices_are_consecutive(self):
+        b = ExecutionBuilder(2)
+        b.local(0)
+        m = b.send(0, 1)
+        b.receive(1, m)
+        ex = b.freeze()
+        assert [e.index for e in ex.events_at(0)] == [1, 2]
+        assert [e.index for e in ex.events_at(1)] == [1]
+
+    def test_counts(self, small_star_execution):
+        ex = small_star_execution
+        assert ex.n_processes == 4
+        assert ex.n_events == 10
+        assert len(ex.messages) == 4
+        assert ex.max_events_per_process() == 4  # p0 has 4 events
+
+    def test_event_lookup(self, small_star_execution):
+        ex = small_star_execution
+        eid = EventId(0, 1)
+        assert eid in ex
+        assert ex.event(eid).kind is EventKind.RECEIVE
+
+    def test_send_receive_matching(self, small_star_execution):
+        ex = small_star_execution
+        for msg in ex.messages:
+            send = ex.event(msg.send_event)
+            recv = ex.receive_of(send)
+            assert recv is not None
+            assert ex.send_of(recv) is send
+
+    def test_send_of_rejects_non_receive(self, small_star_execution):
+        ex = small_star_execution
+        local = ex.event(EventId(3, 1))
+        with pytest.raises(ValueError):
+            ex.send_of(local)
+
+    def test_undelivered_messages(self):
+        b = ExecutionBuilder(2)
+        b.send(0, 1)
+        ex = b.freeze()
+        assert len(ex.undelivered_messages()) == 1
+
+    def test_last_event(self):
+        b = ExecutionBuilder(2)
+        with pytest.raises(ExecutionError):
+            b.last_event(0)
+        b.local(0)
+        assert b.last_event(0).eid == EventId(0, 1)
+
+    def test_send_and_receive_convenience(self):
+        b = ExecutionBuilder(2)
+        s, r = b.send_and_receive(0, 1)
+        assert s.is_send and r.is_receive
+        ex = b.freeze()
+        assert ex.messages[0].delivered
+
+
+class TestDeliveryOrder:
+    def test_respects_causality(self, small_star_execution):
+        ex = small_star_execution
+        order = ex.delivery_order()
+        assert len(order) == ex.n_events
+        pos = {ev.eid: i for i, ev in enumerate(order)}
+        # receives after sends
+        for msg in ex.messages:
+            if msg.recv_event is not None:
+                assert pos[msg.send_event] < pos[msg.recv_event]
+        # process order preserved
+        for p in range(ex.n_processes):
+            evts = ex.events_at(p)
+            for a, b in zip(evts, evts[1:]):
+                assert pos[a.eid] < pos[b.eid]
+
+    def test_emits_all_events_exactly_once(self, small_star_execution):
+        order = small_star_execution.delivery_order()
+        assert len({ev.eid for ev in order}) == len(order)
+
+    def test_repr(self, small_star_execution):
+        assert "Execution(" in repr(small_star_execution)

@@ -1,0 +1,130 @@
+"""Tests for execution trace serialization."""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HappenedBeforeOracle
+from repro.core.execution import ExecutionError
+from repro.core.random_executions import random_execution
+from repro.core.trace import (
+    execution_from_dict,
+    execution_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    load_execution,
+    save_execution,
+)
+from repro.topology import generators
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self):
+        g = generators.double_star(2, 3)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_json_compatible(self):
+        g = generators.star(4)
+        json.dumps(graph_to_dict(g))  # must not raise
+
+
+class TestExecutionRoundTrip:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_round_trip_preserves_everything(self, seed):
+        rng = random.Random(seed)
+        g = generators.erdos_renyi(5, 0.4, rng)
+        ex = random_execution(g, rng, steps=30)
+        ex2 = execution_from_dict(execution_to_dict(ex))
+        assert ex2.n_processes == ex.n_processes
+        assert ex2.graph == ex.graph
+        assert [str(e) for e in ex2.all_events()] == [
+            str(e) for e in ex.all_events()
+        ]
+        assert len(ex2.messages) == len(ex.messages)
+        for m1, m2 in zip(ex.messages, ex2.messages):
+            assert (m1.src, m1.dst, m1.delivered) == (
+                m2.src, m2.dst, m2.delivered,
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_round_trip_preserves_causality(self, seed):
+        rng = random.Random(seed)
+        g = generators.star(4)
+        ex = random_execution(g, rng, steps=20)
+        ex2 = execution_from_dict(execution_to_dict(ex))
+        o1, o2 = HappenedBeforeOracle(ex), HappenedBeforeOracle(ex2)
+        for ev in ex.all_events():
+            assert o1.vector_clock(ev.eid) == o2.vector_clock(ev.eid)
+
+    def test_undelivered_messages_survive(self):
+        from repro.core import ExecutionBuilder
+
+        b = ExecutionBuilder(2)
+        b.send(0, 1)
+        ex = b.freeze()
+        ex2 = execution_from_dict(execution_to_dict(ex))
+        assert len(ex2.undelivered_messages()) == 1
+
+    def test_graphless_execution_round_trips(self):
+        from repro.core import ExecutionBuilder
+
+        b = ExecutionBuilder(3)  # no topology declared
+        m = b.send(0, 2)
+        b.receive(2, m)
+        b.local(1)
+        ex = b.freeze()
+        data = execution_to_dict(ex)
+        assert data["graph"] is None
+        ex2 = execution_from_dict(data)
+        assert ex2.graph is None
+        assert ex2.n_events == 3
+
+    def test_file_round_trip(self, tmp_path):
+        rng = random.Random(1)
+        ex = random_execution(generators.star(3), rng, steps=15)
+        path = tmp_path / "trace.json"
+        save_execution(ex, path)
+        ex2 = load_execution(path)
+        assert ex2.n_events == ex.n_events
+
+    def test_lowerbound_witness_round_trips(self):
+        from repro.lowerbounds import theorem_4_4_witness
+        from repro.lowerbounds.offline_star import (
+            execution_dimension_exceeds_2,
+        )
+
+        ex2 = execution_from_dict(execution_to_dict(theorem_4_4_witness()))
+        assert execution_dimension_exceeds_2(ex2)
+
+
+class TestValidationOnLoad:
+    def test_bad_version_rejected(self):
+        with pytest.raises(ExecutionError):
+            execution_from_dict({"version": 99})
+
+    def test_corrupted_message_table_rejected(self):
+        rng = random.Random(2)
+        ex = random_execution(generators.star(3), rng, steps=15)
+        data = execution_to_dict(ex)
+        if data["messages"]:
+            data["messages"][0]["send"] = [99, 99]
+            with pytest.raises(ExecutionError):
+                execution_from_dict(data)
+
+    def test_inconsistent_trace_rejected(self):
+        """A receive whose message is never sent cannot load."""
+        data = {
+            "version": 1,
+            "n_processes": 2,
+            "graph": None,
+            "events": [[], [{"kind": "receive", "msg": 0}]],
+            "messages": [
+                {"src": 0, "dst": 1, "send": [0, 1], "recv": [1, 1]}
+            ],
+        }
+        with pytest.raises(ExecutionError):
+            execution_from_dict(data)

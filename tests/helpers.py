@@ -1,0 +1,102 @@
+"""Cross-cutting test helpers: declarative timestamp definitions.
+
+The paper defines the star and cover timestamps *declaratively* (Sections
+3.1 and 4) and then gives operational rules (Figure 1).  These helpers
+compute the declarative values by brute force from the happened-before
+oracle, so tests can assert the operational algorithms produce exactly the
+values the definitions demand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.clocks.base import INFINITY
+from repro.core.events import EventId
+from repro.core.execution import Execution
+from repro.core.happened_before import HappenedBeforeOracle
+
+Post = Union[int, float]
+
+
+def declarative_star_values(
+    execution: Execution,
+    oracle: HappenedBeforeOracle,
+    center: int,
+) -> Dict[EventId, Tuple[int, int, Optional[Post]]]:
+    """Per event: (ctr, pre, post) straight from the Section-3 definitions.
+
+    ``post`` is ``None`` for events at the centre.
+    """
+    out: Dict[EventId, Tuple[int, int, Optional[Post]]] = {}
+    centre_events = list(execution.events_at(center))
+    for ev in execution.all_events():
+        e = ev.eid
+        ctr = e.index
+        pre = max(
+            (f.index for f in centre_events if oracle.leq(f.eid, e)),
+            default=0,
+        )
+        if e.proc == center:
+            out[e] = (ctr, pre, None)
+        else:
+            post: Post = min(
+                (
+                    f.index
+                    for f in centre_events
+                    if oracle.happened_before(e, f.eid)
+                ),
+                default=INFINITY,
+            )
+            out[e] = (ctr, pre, post)
+    return out
+
+
+def declarative_cover_values(
+    execution: Execution,
+    oracle: HappenedBeforeOracle,
+    cover: Sequence[int],
+) -> Dict[
+    EventId, Tuple[int, Tuple[int, ...], Optional[Tuple[Post, ...]]]
+]:
+    """Per event: (mctr, mpre, mpost) from the Section-4 definitions.
+
+    ``mpost[c]`` considers only *direct* messages from the event's process
+    to cover process ``c`` — exactly the paper's definition — and is
+    ``None`` (not stored) for events at cover processes.
+    """
+    cover = list(cover)
+    cover_set = set(cover)
+    out: Dict[
+        EventId, Tuple[int, Tuple[int, ...], Optional[Tuple[Post, ...]]]
+    ] = {}
+    for ev in execution.all_events():
+        e = ev.eid
+        mctr = e.index
+        mpre = tuple(
+            max(
+                (
+                    f.index
+                    for f in execution.events_at(c)
+                    if oracle.leq(f.eid, e)
+                ),
+                default=0,
+            )
+            for c in cover
+        )
+        if e.proc in cover_set:
+            out[e] = (mctr, mpre, None)
+            continue
+        mpost = []
+        for c in cover:
+            best: Post = INFINITY
+            for msg in execution.messages:
+                if msg.src != e.proc or msg.dst != c:
+                    continue
+                if msg.recv_event is None:
+                    continue
+                if msg.send_event.index >= e.index:  # e = send or e -> send
+                    best = min(best, msg.recv_event.index)
+            mpost.append(best)
+        out[e] = (mctr, mpre, tuple(mpost))
+    return out

@@ -1,0 +1,78 @@
+"""Tests for the vector-assignment checker."""
+
+import pytest
+
+from repro.core import ExecutionBuilder
+from repro.core.events import EventId
+from repro.lowerbounds.verify import (
+    ViolationKind,
+    check_vector_assignment,
+)
+
+
+def two_concurrent_events():
+    b = ExecutionBuilder(2)
+    b.local(0)
+    b.local(1)
+    return b.freeze()
+
+
+def ordered_pair():
+    b = ExecutionBuilder(2)
+    m = b.send(0, 1)
+    b.receive(1, m)
+    return b.freeze()
+
+
+class TestChecker:
+    def test_valid_assignment(self):
+        ex = ordered_pair()
+        vectors = {EventId(0, 1): (1, 0), EventId(1, 1): (1, 1)}
+        report = check_vector_assignment(ex, vectors)
+        assert report.valid
+        assert report.vector_length == 2
+
+    def test_false_positive_detected(self):
+        ex = two_concurrent_events()
+        vectors = {EventId(0, 1): (1,), EventId(1, 1): (2,)}
+        report = check_vector_assignment(ex, vectors)
+        assert not report.valid
+        v = report.first(ViolationKind.FALSE_POSITIVE)
+        assert v is not None
+        assert {v.e, v.f} == {EventId(0, 1), EventId(1, 1)}
+
+    def test_false_negative_detected(self):
+        ex = ordered_pair()
+        vectors = {EventId(0, 1): (2, 0), EventId(1, 1): (1, 1)}
+        report = check_vector_assignment(ex, vectors)
+        assert report.first(ViolationKind.FALSE_NEGATIVE) is not None
+
+    def test_duplicate_detected(self):
+        ex = two_concurrent_events()
+        vectors = {EventId(0, 1): (1, 1), EventId(1, 1): (1, 1)}
+        report = check_vector_assignment(ex, vectors)
+        assert report.first(ViolationKind.DUPLICATE) is not None
+
+    def test_missing_vector_rejected(self):
+        ex = ordered_pair()
+        with pytest.raises(ValueError):
+            check_vector_assignment(ex, {EventId(0, 1): (1,)})
+
+    def test_inconsistent_lengths_rejected(self):
+        ex = two_concurrent_events()
+        with pytest.raises(ValueError):
+            check_vector_assignment(
+                ex, {EventId(0, 1): (1,), EventId(1, 1): (1, 2)}
+            )
+
+    def test_stop_at_first(self):
+        ex = two_concurrent_events()
+        vectors = {EventId(0, 1): (1,), EventId(1, 1): (1,)}
+        report = check_vector_assignment(ex, vectors, stop_at_first=True)
+        assert len(report.violations) == 1
+
+    def test_describe(self):
+        ex = two_concurrent_events()
+        vectors = {EventId(0, 1): (1,), EventId(1, 1): (2,)}
+        report = check_vector_assignment(ex, vectors)
+        assert "false_positive" in report.violations[0].describe()

@@ -1,0 +1,79 @@
+"""Failure injection: message loss must not break correctness."""
+
+import pytest
+
+from repro.clocks import CoverInlineClock, StarInlineClock, VectorClock
+from repro.core import HappenedBeforeOracle
+from repro.sim import Simulation, UniformWorkload
+from repro.topology import generators
+
+
+def run(app_loss=0.0, control_loss=0.0, seed=0, n=6, events=20):
+    g = generators.star(n)
+    sim = Simulation(
+        g,
+        seed=seed,
+        clocks={"inline": StarInlineClock(n), "vector": VectorClock(n)},
+        app_loss_rate=app_loss,
+        control_loss_rate=control_loss,
+    )
+    return sim.run(UniformWorkload(events_per_process=events, p_local=0.2))
+
+
+class TestAppLoss:
+    def test_lost_messages_never_delivered(self):
+        res = run(app_loss=0.4, seed=1)
+        assert res.dropped_app_messages > 0
+        undelivered = len(res.execution.undelivered_messages())
+        assert undelivered == res.dropped_app_messages
+
+    def test_correctness_survives_loss(self):
+        for seed in range(3):
+            res = run(app_loss=0.3, seed=seed)
+            oracle = HappenedBeforeOracle(res.execution)
+            for name in ("inline", "vector"):
+                assert res.assignments[name].validate(oracle).characterizes
+
+    def test_invalid_rate_rejected(self):
+        g = generators.star(3)
+        with pytest.raises(ValueError):
+            Simulation(g, app_loss_rate=1.0)
+        with pytest.raises(ValueError):
+            Simulation(g, control_loss_rate=-0.1)
+
+
+class TestControlLoss:
+    def test_correctness_survives_control_loss(self):
+        """Lost acknowledgements delay finalization but never corrupt it
+        (termination flushing recovers the information)."""
+        for seed in range(3):
+            res = run(control_loss=0.5, seed=seed)
+            oracle = HappenedBeforeOracle(res.execution)
+            assert res.assignments["inline"].validate(oracle).characterizes
+
+    def test_control_loss_reduces_inline_finalization(self):
+        lossless = run(control_loss=0.0, seed=7)
+        lossy = run(control_loss=0.7, seed=7)
+        assert lossy.dropped_control_messages > 0
+        assert lossy.fraction_finalized_during_run(
+            "inline"
+        ) < lossless.fraction_finalized_during_run("inline")
+
+    def test_online_clock_unaffected(self):
+        res = run(control_loss=0.9, seed=2)
+        assert res.fraction_finalized_during_run("vector") == 1.0
+
+
+class TestCoverClockUnderLoss:
+    def test_general_graph_with_both_losses(self):
+        g = generators.double_star(2, 3)
+        sim = Simulation(
+            g,
+            seed=5,
+            clocks={"cover": CoverInlineClock(g)},
+            app_loss_rate=0.25,
+            control_loss_rate=0.25,
+        )
+        res = sim.run(UniformWorkload(events_per_process=15))
+        oracle = HappenedBeforeOracle(res.execution)
+        assert res.assignments["cover"].validate(oracle).characterizes

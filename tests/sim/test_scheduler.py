@@ -1,0 +1,85 @@
+"""Tests for the virtual-time scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import EventScheduler
+
+
+class TestOrdering:
+    def test_runs_in_time_order(self):
+        s = EventScheduler()
+        log = []
+        s.at(3.0, lambda: log.append("c"))
+        s.at(1.0, lambda: log.append("a"))
+        s.at(2.0, lambda: log.append("b"))
+        s.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        s = EventScheduler()
+        log = []
+        s.at(1.0, lambda: log.append("first"))
+        s.at(1.0, lambda: log.append("second"))
+        s.run()
+        assert log == ["first", "second"]
+
+    def test_now_advances(self):
+        s = EventScheduler()
+        seen = []
+        s.at(5.0, lambda: seen.append(s.now))
+        s.run()
+        assert seen == [5.0]
+        assert s.now == 5.0
+
+    def test_callbacks_can_schedule(self):
+        s = EventScheduler()
+        log = []
+
+        def first():
+            log.append("first")
+            s.after(1.0, lambda: log.append("second"))
+
+        s.at(1.0, first)
+        s.run()
+        assert log == ["first", "second"]
+        assert s.now == 2.0
+
+
+class TestBounds:
+    def test_max_time_stops_early(self):
+        s = EventScheduler()
+        log = []
+        s.at(1.0, lambda: log.append(1))
+        s.at(10.0, lambda: log.append(10))
+        s.run(max_time=5.0)
+        assert log == [1]
+        assert s.pending == 1
+
+    def test_max_steps(self):
+        s = EventScheduler()
+        log = []
+        for i in range(5):
+            s.at(float(i + 1), lambda i=i: log.append(i))
+        s.run(max_steps=3)
+        assert log == [0, 1, 2]
+
+    def test_steps_executed_counter(self):
+        s = EventScheduler()
+        s.at(1.0, lambda: None)
+        s.at(2.0, lambda: None)
+        s.run()
+        assert s.steps_executed == 2
+
+
+class TestValidation:
+    def test_cannot_schedule_in_past(self):
+        s = EventScheduler()
+        s.at(5.0, lambda: None)
+        s.run()
+        with pytest.raises(ValueError):
+            s.at(1.0, lambda: None)
+
+    def test_negative_delay(self):
+        s = EventScheduler()
+        with pytest.raises(ValueError):
+            s.after(-1.0, lambda: None)

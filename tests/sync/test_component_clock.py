@@ -1,0 +1,172 @@
+"""Tests for the component timestamps on synchronous computations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks.base import INFINITY
+from repro.sync.component_clock import ComponentSyncClock
+from repro.sync.decomposition import (
+    best_decomposition,
+    star_decomposition,
+    star_triangle_decomposition,
+)
+from repro.sync.model import (
+    SyncExecutionBuilder,
+    SyncOracle,
+    random_sync_execution,
+)
+from repro.topology import generators
+
+
+def validate_against_oracle(execution, decomposition):
+    clock = ComponentSyncClock(decomposition)
+    clock.replay(execution)
+    clock.finalize_at_termination()
+    oracle = SyncOracle(execution)
+    for e in execution.events:
+        for f in execution.events:
+            if e.uid == f.uid:
+                continue
+            ts_e, ts_f = clock.timestamp(e), clock.timestamp(f)
+            assert ts_e is not None and ts_f is not None
+            claimed = ts_e.precedes(ts_f)
+            actual = oracle.happened_before(e, f)
+            assert claimed == actual, (str(e), str(f), ts_e, ts_f)
+    return clock
+
+
+GRAPHS = {
+    "star6": generators.star(6),
+    "double_star": generators.double_star(2, 3),
+    "triangle": generators.clique(3),
+    "clique4": generators.clique(4),
+    "cycle5": generators.cycle(5),
+    "bipartite": generators.complete_bipartite(2, 3),
+}
+
+
+class TestExactness:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        name=st.sampled_from(sorted(GRAPHS)),
+    )
+    def test_characterizes_on_random_sync_executions(self, seed, name):
+        g = GRAPHS[name]
+        ex = random_sync_execution(g, random.Random(seed), steps=30)
+        validate_against_oracle(ex, best_decomposition(g))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_both_decompositions_work(self, seed):
+        g = generators.clique(4)
+        ex = random_sync_execution(g, random.Random(seed), steps=25)
+        validate_against_oracle(ex, star_decomposition(g))
+        validate_against_oracle(ex, star_triangle_decomposition(g))
+
+
+class TestSizes:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_element_bound(self, seed):
+        g = generators.star(8)
+        dec = star_decomposition(g)  # d = 1
+        ex = random_sync_execution(g, random.Random(seed), steps=30)
+        clock = ComponentSyncClock(dec)
+        clock.replay(ex)
+        clock.finalize_at_termination()
+        assert clock.max_elements() <= 2 * dec.d + 4
+
+    def test_star_graph_constant_size(self):
+        """On a star, d = 1: timestamps have <= 6 elements for any n."""
+        for n in (4, 16, 64):
+            g = generators.star(n)
+            dec = star_decomposition(g)
+            ex = random_sync_execution(g, random.Random(1), steps=3 * n)
+            clock = ComponentSyncClock(dec)
+            clock.replay(ex)
+            clock.finalize_at_termination()
+            assert dec.d == 1
+            assert clock.max_elements() <= 2 * dec.d + 4
+
+
+class TestInlineSemantics:
+    def test_message_events_know_own_component(self):
+        g = generators.star(3)
+        dec = star_decomposition(g)
+        b = SyncExecutionBuilder(3, graph=g)
+        m = b.message(0, 1)
+        clock = ComponentSyncClock(dec)
+        clock.process_event(m)
+        # the message IS a component-0 message: W[0] known instantly
+        assert clock.is_final(m)
+        ts = clock.timestamp(m)
+        assert ts is not None and ts.w[0] == 1
+
+    def test_internal_event_waits_for_next_component_message(self):
+        g = generators.star(3)
+        dec = star_decomposition(g)
+        b = SyncExecutionBuilder(3, graph=g)
+        e = b.internal(1)
+        m = b.message(1, 0)
+        clock = ComponentSyncClock(dec)
+        clock.process_event(e)
+        assert not clock.is_final(e)
+        assert clock.timestamp(e) is None
+        clock.process_event(m)
+        assert clock.is_final(e)
+        ts = clock.timestamp(e)
+        assert ts is not None and ts.w[0] == 1
+
+    def test_isolated_process_final_after_termination(self):
+        from repro.topology.graph import CommunicationGraph
+
+        g = CommunicationGraph(3, [(0, 1)])
+        dec = star_decomposition(g)
+        b = SyncExecutionBuilder(3, graph=g)
+        e = b.internal(2)  # no incident components: final immediately
+        clock = ComponentSyncClock(dec)
+        clock.process_event(e)
+        assert clock.is_final(e)
+        ts = clock.timestamp(e)
+        assert ts is not None and ts.w == (INFINITY,)
+
+    def test_termination_finalizes_everything(self):
+        g = generators.star(4)
+        dec = star_decomposition(g)
+        ex = random_sync_execution(g, random.Random(3), steps=15)
+        clock = ComponentSyncClock(dec)
+        clock.replay(ex)
+        clock.finalize_at_termination()
+        for ev in ex.events:
+            assert clock.is_final(ev)
+
+    def test_duplicate_event_rejected(self):
+        g = generators.star(3)
+        dec = star_decomposition(g)
+        b = SyncExecutionBuilder(3, graph=g)
+        e = b.internal(0)
+        clock = ComponentSyncClock(dec)
+        clock.process_event(e)
+        with pytest.raises(ValueError):
+            clock.process_event(e)
+
+
+class TestVTracksComponentCounts:
+    def test_v_prefix_counts(self):
+        g = generators.double_star(1, 1)  # edges (0,1), (0,2), (1,3)
+        dec = star_decomposition(g, cover=[0, 1])
+        b = SyncExecutionBuilder(4, graph=g)
+        m1 = b.message(0, 2)  # comp of star 0
+        m2 = b.message(1, 3)  # comp of star 1
+        m3 = b.message(0, 1)  # comp of star 0 (edge 0-1 assigned to hub 0)
+        clock = ComponentSyncClock(dec)
+        for ev in (m1, m2, m3):
+            clock.process_event(ev)
+        clock.finalize_at_termination()
+        ts3 = clock.timestamp(m3)
+        assert ts3 is not None
+        # m3's past: m1 (comp 0) and m2 (comp 1, shared via p1), plus itself
+        assert ts3.v == (2, 1)

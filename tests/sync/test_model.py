@@ -1,0 +1,120 @@
+"""Tests for the synchronous computation model and oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sync.model import (
+    SyncEvent,
+    SyncEventKind,
+    SyncExecutionBuilder,
+    SyncOracle,
+    random_sync_execution,
+)
+from repro.topology import generators
+
+
+class TestBuilder:
+    def test_internal_events(self):
+        b = SyncExecutionBuilder(2)
+        e1 = b.internal(0)
+        e2 = b.internal(0)
+        assert e1.index_at(0) == 1
+        assert e2.index_at(0) == 2
+
+    def test_message_is_joint(self):
+        b = SyncExecutionBuilder(3)
+        b.internal(1)
+        m = b.message(0, 1)
+        assert m.procs == (0, 1)
+        assert m.index_at(0) == 1
+        assert m.index_at(1) == 2  # p1 already had one event
+
+    def test_message_normalizes_order(self):
+        b = SyncExecutionBuilder(2)
+        m = b.message(1, 0)
+        assert m.procs == (0, 1)
+
+    def test_rejects_self_message(self):
+        b = SyncExecutionBuilder(2)
+        with pytest.raises(ValueError):
+            b.message(1, 1)
+
+    def test_respects_graph(self):
+        b = SyncExecutionBuilder(4, graph=generators.star(4))
+        with pytest.raises(ValueError):
+            b.message(1, 2)
+
+    def test_frozen(self):
+        b = SyncExecutionBuilder(1)
+        b.freeze()
+        with pytest.raises(ValueError):
+            b.internal(0)
+
+    def test_execution_views(self):
+        b = SyncExecutionBuilder(2)
+        b.internal(0)
+        b.message(0, 1)
+        ex = b.freeze()
+        assert ex.n_events == 2
+        assert len(ex.events_at(0)) == 2
+        assert len(ex.events_at(1)) == 1
+        assert sum(1 for _ in ex.messages()) == 1
+
+
+class TestOracle:
+    def test_joint_event_orders_both_sides(self):
+        b = SyncExecutionBuilder(2)
+        e0 = b.internal(0)
+        e1 = b.internal(1)
+        m = b.message(0, 1)
+        f0 = b.internal(0)
+        f1 = b.internal(1)
+        oracle = SyncOracle(b.freeze())
+        # both pre-events precede both post-events through the rendezvous
+        assert oracle.happened_before(e0, f1)
+        assert oracle.happened_before(e1, f0)
+        assert oracle.happened_before(e0, m)
+        assert oracle.happened_before(m, f1)
+        assert oracle.concurrent(e0, e1)
+        assert oracle.concurrent(f0, f1)
+
+    def test_synchrony_vs_asynchrony(self):
+        """The defining difference: a synchronous message orders the
+        *receiver's* earlier events before the *sender's* later ones."""
+        b = SyncExecutionBuilder(2)
+        before_recv = b.internal(1)
+        b.message(0, 1)  # p0 "sends", but it is a rendezvous
+        after_send = b.internal(0)
+        oracle = SyncOracle(b.freeze())
+        assert oracle.happened_before(before_recv, after_send)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_partial_order_properties(self, seed):
+        rng = random.Random(seed)
+        g = generators.erdos_renyi(5, 0.4, rng)
+        ex = random_sync_execution(g, rng, steps=25)
+        oracle = SyncOracle(ex)
+        evs = ex.events
+        for e in evs:
+            assert not oracle.happened_before(e, e)
+            for f in evs:
+                if oracle.happened_before(e, f):
+                    assert not oracle.happened_before(f, e)
+                for g2 in evs:
+                    if oracle.happened_before(e, f) and oracle.happened_before(
+                        f, g2
+                    ):
+                        assert oracle.happened_before(e, g2)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_distinct_events_distinct_vectors(self, seed):
+        rng = random.Random(seed)
+        g = generators.star(4)
+        ex = random_sync_execution(g, rng, steps=20)
+        oracle = SyncOracle(ex)
+        vcs = [oracle.vector_clock(ev) for ev in ex.events]
+        assert len(set(vcs)) == len(vcs)

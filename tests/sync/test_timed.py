@@ -1,0 +1,84 @@
+"""Tests for the timed synchronous (rendezvous) simulator."""
+
+import pytest
+
+from repro.sync.model import SyncOracle
+from repro.sync.timed import simulate_sync
+from repro.topology import generators
+
+
+class TestTimedSimulation:
+    def test_all_actions_execute(self):
+        g = generators.star(5)
+        res = simulate_sync(g, actions_per_process=10, seed=1)
+        # every process performed its 10 actions; messages count for two
+        per_proc = [len(res.execution.events_at(p)) for p in range(5)]
+        n_messages = sum(1 for _ in res.execution.messages())
+        assert sum(per_proc) == 5 * 10 + n_messages
+
+    def test_deterministic(self):
+        g = generators.cycle(5)
+        r1 = simulate_sync(g, seed=3)
+        r2 = simulate_sync(g, seed=3)
+        assert r1.event_times == r2.event_times
+        assert r1.finalization_times == r2.finalization_times
+
+    def test_event_times_monotone_per_process(self):
+        g = generators.double_star(2, 2)
+        res = simulate_sync(g, seed=2)
+        for p in range(g.n_vertices):
+            times = [
+                res.event_times[ev.uid] for ev in res.execution.events_at(p)
+            ]
+            assert times == sorted(times)
+
+    def test_rendezvous_blocks_both_endpoints(self):
+        """A message's completion time is at least both endpoints' prior
+        completion times plus the handshake."""
+        g = generators.star(4)
+        res = simulate_sync(g, seed=5, handshake_duration=1.0)
+        ex = res.execution
+        last: dict = {}
+        for ev in sorted(ex.events, key=lambda e: res.event_times[e.uid]):
+            t = res.event_times[ev.uid]
+            if ev.is_message:
+                for p in ev.procs:
+                    if p in last:
+                        assert t >= last[p] + 1.0 - 1e-9
+            for p in ev.procs:
+                last[p] = t
+
+    def test_finalization_never_before_event(self):
+        g = generators.star(6)
+        res = simulate_sync(g, seed=7)
+        for uid, lat in res.finalization_latencies().items():
+            assert lat >= 0
+
+    def test_component_clock_correct_under_timing(self):
+        g = generators.double_star(2, 2)
+        res = simulate_sync(g, seed=4, actions_per_process=12)
+        from repro.sync.component_clock import ComponentSyncClock
+
+        clock = ComponentSyncClock(res.decomposition)
+        clock.replay(res.execution)
+        clock.finalize_at_termination()
+        oracle = SyncOracle(res.execution)
+        for e in res.execution.events:
+            for f in res.execution.events:
+                if e.uid != f.uid:
+                    assert clock.timestamp(e).precedes(
+                        clock.timestamp(f)
+                    ) == oracle.happened_before(e, f)
+
+    def test_chatty_runs_finalize_more(self):
+        g = generators.star(6)
+        chatty = simulate_sync(g, seed=9, p_internal=0.1)
+        quiet = simulate_sync(g, seed=9, p_internal=0.9)
+        assert (
+            chatty.fraction_finalized_during_run()
+            >= quiet.fraction_finalized_during_run()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_sync(generators.star(3), actions_per_process=-1)

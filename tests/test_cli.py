@@ -1,0 +1,108 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_clock, build_topology, main
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        rc = main(["simulate", "--topology", "star", "--n", "6",
+                   "--events", "10", "--clocks", "inline", "vector"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "inline" in out and "vector" in out
+        assert "vertex cover" in out
+
+    def test_all_clock_names(self, capsys):
+        rc = main([
+            "simulate", "--n", "6", "--events", "5", "--fifo",
+            "--clocks", "inline", "inline-star", "vector", "vector-sk",
+            "lamport", "encoded", "cluster", "plausible",
+        ])
+        assert rc == 0
+
+    def test_piggyback_transport(self, capsys):
+        rc = main(["simulate", "--n", "5", "--events", "8",
+                   "--transport", "piggyback"])
+        assert rc == 0
+
+    def test_save_and_validate_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        rc = main(["simulate", "--n", "5", "--events", "8",
+                   "--save-trace", trace])
+        assert rc == 0
+        rc = main(["validate", trace, "--clocks", "inline", "lamport"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "OK" in out
+
+    @pytest.mark.parametrize(
+        "topology", ["star", "cycle", "clique", "path", "double-star",
+                     "tree", "random"]
+    )
+    def test_every_topology(self, topology, capsys):
+        rc = main(["simulate", "--topology", topology, "--n", "6",
+                   "--events", "5"])
+        assert rc == 0
+
+
+class TestSizes:
+    def test_sizes_output(self, capsys):
+        rc = main(["sizes", "--n", "32", "--k", "1000", "--cover", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "inline bits" in out
+        assert "crossover" not in out or "15" in out
+        assert "15" in out  # the n/2-1 crossover for n=32
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("lemma", ["2.1", "2.2", "2.3", "2.4"])
+    def test_adversaries_refute(self, lemma, capsys):
+        rc = main(["lower-bound", lemma, "--n", "6"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "refuted=True" in out
+
+    def test_theorem_4_4(self, capsys):
+        rc = main(["lower-bound", "4.4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dimension > 2: True" in out
+
+
+class TestSync:
+    def test_sync_run(self, capsys):
+        rc = main(["sync", "--topology", "star", "--n", "6", "--events", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mismatches vs oracle: 0" in out
+        assert "d=1" in out
+
+    def test_sync_on_clique(self, capsys):
+        rc = main(["sync", "--topology", "clique", "--n", "4",
+                   "--events", "6"])
+        assert rc == 0
+
+
+class TestExperiments:
+    def test_quick_reproduction(self, capsys):
+        rc = main(["experiments"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Theorem 4.2" in out
+        assert "refuted: True" in out
+        assert "dimension > 2: True" in out
+
+
+class TestHelpers:
+    def test_unknown_topology(self):
+        with pytest.raises(ValueError):
+            build_topology("moebius", 5, 0)
+
+    def test_unknown_clock(self):
+        from repro.topology import generators
+
+        with pytest.raises(ValueError):
+            build_clock("sundial", generators.star(3))

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are part of the public deliverable; these tests import each one
+and execute its ``main()`` so API drift breaks CI rather than users.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name.removesuffix('.py')}", path
+    )
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        assert "quickstart.py" in EXAMPLE_FILES
+        assert len(EXAMPLE_FILES) >= 5
+
+    @pytest.mark.parametrize("name", EXAMPLE_FILES)
+    def test_example_runs(self, name, capsys):
+        module = load_example(name)
+        assert hasattr(module, "main"), f"{name} has no main()"
+        module.main()
+        out = capsys.readouterr().out
+        assert out.strip(), f"{name} produced no output"

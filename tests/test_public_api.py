@@ -1,0 +1,61 @@
+"""Public-API hygiene: exports resolve, modules and exports are documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.clocks",
+    "repro.baselines",
+    "repro.topology",
+    "repro.sim",
+    "repro.sync",
+    "repro.lowerbounds",
+    "repro.applications",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("pkg_name", PACKAGES)
+class TestPackage:
+    def test_importable_with_docstring(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        assert pkg.__doc__, f"{pkg_name} lacks a module docstring"
+
+    def test_all_exports_resolve(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        for name in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, name), f"{pkg_name}.__all__ lists {name}"
+
+    def test_exported_callables_documented(self, pkg_name):
+        pkg = importlib.import_module(pkg_name)
+        undocumented = []
+        for name in getattr(pkg, "__all__", []):
+            obj = getattr(pkg, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(name)
+        assert not undocumented, f"{pkg_name}: undocumented {undocumented}"
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestSubmoduleDocstrings:
+    def test_every_source_module_has_docstring(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent / "src" / "repro"
+        missing = []
+        for path in root.rglob("*.py"):
+            text = path.read_text().lstrip()
+            if not (text.startswith('"""') or text.startswith("'''") or not text):
+                missing.append(str(path))
+        assert not missing, f"modules without docstrings: {missing}"

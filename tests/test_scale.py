@@ -1,0 +1,74 @@
+"""Scale smoke tests: the library handles non-toy system sizes.
+
+Exhaustive pairwise validation is quadratic, so these tests use the
+sampled validator; they exist to catch accidental quadratic/exponential
+blowups in the algorithms themselves and to exercise bookkeeping (control
+sequencing, resequencing buffers, finalization tracking) under volume.
+"""
+
+import random
+
+import pytest
+
+from repro.clocks import CoverInlineClock, StarInlineClock, VectorClock
+from repro.core import HappenedBeforeOracle
+from repro.core.random_executions import random_execution
+from repro.sim import Simulation, UniformWorkload
+from repro.topology import generators
+
+
+class TestLargeStar:
+    def test_star_64_processes(self):
+        n = 64
+        g = generators.star(n)
+        sim = Simulation(
+            g,
+            seed=1,
+            clocks={"inline": StarInlineClock(n), "vector": VectorClock(n)},
+        )
+        res = sim.run(UniformWorkload(events_per_process=20, p_local=0.3))
+        assert res.execution.n_events > 1500
+        oracle = HappenedBeforeOracle(res.execution)
+        for name in ("inline", "vector"):
+            report = res.assignments[name].validate_sampled(
+                oracle, n_pairs=4_000
+            )
+            assert report.characterizes, name
+        assert res.assignments["inline"].max_elements() == 4
+        assert res.assignments["vector"].max_elements() == n
+
+    def test_large_replay(self):
+        n = 32
+        g = generators.star(n)
+        ex = random_execution(
+            g, random.Random(3), steps=3_000, deliver_all=True
+        )
+        from repro.clocks import replay
+
+        inline, = replay(ex, [StarInlineClock(n)])
+        oracle = HappenedBeforeOracle(ex)
+        assert inline.validate_sampled(oracle, n_pairs=4_000).characterizes
+
+
+class TestLargeCoverGraph:
+    def test_wide_double_star(self):
+        g = generators.double_star(20, 20)  # 42 processes, |VC| = 2
+        sim = Simulation(g, seed=2, clocks={"cover": CoverInlineClock(g)})
+        res = sim.run(UniformWorkload(events_per_process=15, p_local=0.3))
+        oracle = HappenedBeforeOracle(res.execution)
+        asg = res.assignments["cover"]
+        assert asg.validate_sampled(oracle, n_pairs=4_000).characterizes
+        assert asg.max_elements() <= 6  # 2*2+2 regardless of 42 processes
+
+    def test_big_sequencer_store(self):
+        from repro.applications import StoreConfig, run_store, verify_causal_reads
+
+        cfg = StoreConfig(
+            n_sequencers=3, n_servers=5, n_clients=20, ops_per_client=5,
+            n_keys=8, seed=4,
+        )
+        run = run_store(cfg)
+        assert run.completed_operations == 100
+        assert verify_causal_reads(run) == []
+        assert run.inline_max_elements <= 8  # 2*3+2
+        assert run.vector_elements == 28
