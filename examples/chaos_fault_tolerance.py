@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario: surviving a bad week in production.
+
+The paper's model assumes reliable channels; real deployments get bursty
+packet loss, duplicated datagrams, partitions that heal, and nodes that
+crash and come back.  This example runs the chaos harness over those
+scenarios with inline timestamps attached and shows two things:
+
+1. *Safety is unconditional* — every timestamp that finalizes agrees with
+   happened-before on the surviving execution, and timestamps finalized
+   before a crash read back unchanged from the clock-state checkpoint.
+2. *Liveness is bought with the reliable control transport* — with
+   fire-and-forget control messages a lost round trip means the event only
+   finalizes at termination, while sequence numbers + acks +
+   retransmission keep the fraction finalized *during the run* high.
+
+Run:  python examples/chaos_fault_tolerance.py
+"""
+
+from repro.analysis.reports import format_table
+from repro.clocks import StarInlineClock
+from repro.faults import default_scenarios, run_chaos
+from repro.sim import RetryPolicy
+from repro.topology import generators
+
+
+def main() -> None:
+    n = 8
+    graph = generators.star(n)
+    factories = {"inline-star": lambda: StarInlineClock(n)}
+    scenarios = default_scenarios(n)
+
+    sweeps = {
+        "fire-and-forget": run_chaos(
+            graph, factories, scenarios=scenarios,
+            events_per_process=15, seed=1, reliable=False,
+        ),
+        "reliable": run_chaos(
+            graph, factories, scenarios=scenarios,
+            events_per_process=15, seed=1, reliable=True,
+            retry=RetryPolicy(timeout=4.0, backoff=1.5, max_retries=4),
+        ),
+    }
+
+    print(f"chaos sweep on a star of {n} processes, inline timestamps\n")
+    rows = []
+    for scenario in scenarios:
+        raw = next(c for c in sweeps["fire-and-forget"].cells
+                   if c.scenario == scenario.name)
+        rel = next(c for c in sweeps["reliable"].cells
+                   if c.scenario == scenario.name)
+        rows.append([
+            scenario.name,
+            "OK" if raw.ok and rel.ok else "FAIL",
+            f"{raw.finalized_fraction:.2f}",
+            f"{rel.finalized_fraction:.2f}",
+            rel.retransmissions,
+            rel.duplicates_suppressed,
+        ])
+    print(format_table(
+        ["scenario", "invariants", "finalized (f&f)", "finalized (reliable)",
+         "retx", "dups supp"],
+        rows,
+    ))
+
+    every_ok = all(sweep.ok for sweep in sweeps.values())
+    print()
+    print("every finalized timestamp agrees with happened-before, and "
+          "crash checkpoints")
+    print(f"replay finalized timestamps unchanged: "
+          f"{'yes' if every_ok else 'NO — bug!'}")
+    loss10_rel = next(c for c in sweeps["reliable"].cells
+                      if c.scenario == "control-loss-10")
+    print(f"under 10% control loss the reliable transport keeps "
+          f"{loss10_rel.finalized_fraction:.0%} of events")
+    print("finalized during the run — losses surface as retransmissions, "
+          "not as termination-only timestamps.")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,15 @@
 from repro.analysis.latency import (
     LatencySummary,
     expected_star_finalization_latency,
+    finalization_latency_cdf,
     finalized_fraction_curve,
     mean_inflight_events,
     percentile,
     summarize_latencies,
+)
+from repro.analysis.reliability import (
+    ReliabilitySummary,
+    summarize_reliability,
 )
 from repro.analysis.overhead_model import (
     expected_control_elements,
@@ -33,10 +38,13 @@ from repro.analysis.size_model import (
 __all__ = [
     "LatencySummary",
     "expected_star_finalization_latency",
+    "finalization_latency_cdf",
     "finalized_fraction_curve",
     "mean_inflight_events",
     "percentile",
     "summarize_latencies",
+    "ReliabilitySummary",
+    "summarize_reliability",
     "expected_control_elements",
     "expected_control_messages",
     "expected_piggyback_elements",

@@ -88,6 +88,25 @@ def finalized_fraction_curve(
     return out
 
 
+def finalization_latency_cdf(
+    result: SimulationResult, clock_name: str
+) -> List[Tuple[float, float]]:
+    """Empirical CDF of finalization latencies, normalized over *all* events.
+
+    Each point is ``(latency, fraction of all events finalized within that
+    latency during the run)``.  Because the denominator is the total event
+    count, the curve plateaus below 1.0 exactly when some events only
+    finalize at termination — under faulty control channels the height of
+    that plateau is the online-finalization coverage, the quantity the
+    reliable control transport is designed to protect (experiment E16).
+    """
+    total = result.execution.n_events
+    if total == 0:
+        return []
+    lat = sorted(result.finalization_latencies(clock_name).values())
+    return [(v, (i + 1) / total) for i, v in enumerate(lat)]
+
+
 def _count_leq(sorted_values: Sequence[float], t: float) -> int:
     lo, hi = 0, len(sorted_values)
     while lo < hi:

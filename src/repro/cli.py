@@ -12,6 +12,10 @@ without writing code:
 - ``lower-bound``  — run one of the paper's lower-bound adversaries
   (lemmas 2.1/2.2/2.3/2.4) or the Theorem 4.4 dimension argument.
 - ``sync``         — a timed synchronous run with component timestamps.
+- ``chaos``        — sweep structured fault scenarios (burst loss,
+  duplication, partition+heal, crash-recovery) × clock algorithms with the
+  reliable control transport, asserting that finalized timestamps agree
+  with happened-before on the surviving execution.
 - ``experiments``  — quick headline reproduction of the core claims.
 
 All output is plain text; exit status 0 means every check passed.
@@ -294,6 +298,53 @@ def cmd_sync(args: argparse.Namespace) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-scenario sweep with invariant checking (experiment E16)."""
+    from repro.faults import ROW_HEADER, default_scenarios, run_chaos
+    from repro.sim.network import RetryPolicy
+
+    graph = build_topology(args.topology, args.n, args.seed)
+    factories = {
+        name: (lambda name=name: build_clock(name, graph))
+        for name in args.clocks
+    }
+    retry = RetryPolicy(
+        timeout=args.retry_timeout, max_retries=args.max_retries
+    )
+    report = run_chaos(
+        graph,
+        factories,
+        scenarios=default_scenarios(graph.n_vertices, quick=args.quick),
+        events_per_process=args.events,
+        seed=args.seed,
+        reliable=not args.unreliable,
+        retry=retry,
+    )
+    transport = (
+        "fire-and-forget"
+        if args.unreliable
+        else f"reliable (timeout={retry.timeout}, backoff={retry.backoff}, "
+        f"max_retries={retry.max_retries})"
+    )
+    print(
+        f"chaos sweep: topology={args.topology} n={graph.n_vertices} "
+        f"events={args.events} seed={args.seed} control transport: {transport}"
+    )
+    if report.skipped:
+        print(f"skipped FIFO-requiring clocks: {', '.join(report.skipped)}")
+    print(format_table(ROW_HEADER, report.rows()))
+    failures = report.failures()
+    if failures:
+        for cell in failures:
+            kind = (
+                "causality" if not cell.causality_ok else "crash checkpoint"
+            )
+            print(f"FAIL: {cell.scenario} × {cell.clock} ({kind} invariant)")
+    else:
+        print("all scenario × clock invariants hold")
+    return 0 if report.ok else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Quick headline reproduction: one table per core claim."""
     from repro.clocks import replay
@@ -391,6 +442,27 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--n", type=int, default=6)
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser(
+        "chaos", help="fault-scenario sweep with invariant checks (E16)"
+    )
+    p.add_argument("--topology", default="star",
+                   choices=["star", "cycle", "clique", "path", "double-star",
+                            "tree", "random"])
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--events", type=int, default=15)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--clocks", nargs="+",
+                   default=["inline", "vector", "lamport"],
+                   metavar="CLOCK")
+    p.add_argument("--quick", action="store_true",
+                   help="run the reduced 3-scenario smoke subset")
+    p.add_argument("--unreliable", action="store_true",
+                   help="fire-and-forget control messages (no retransmission)")
+    p.add_argument("--retry-timeout", type=float, default=4.0,
+                   help="retransmission timeout for the reliable transport")
+    p.add_argument("--max-retries", type=int, default=4)
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "sync", help="timed synchronous run with component timestamps"

@@ -91,6 +91,12 @@ class ClockAlgorithm(abc.ABC):
     name: str = "abstract"
     #: whether timestamp comparison is *iff* (characterizes causality)
     characterizes_causality: bool = True
+    #: whether the scheme is only safe over per-channel FIFO application
+    #: message delivery with no loss, duplication, or reordering (e.g. the
+    #: Singhal–Kshemkalyani differential clocks, whose diffs are relative to
+    #: the previous message on the channel).  Hosts use this to reject
+    #: incompatible configurations at construction time.
+    requires_fifo_app: bool = False
 
     def __init__(self, n_processes: int) -> None:
         if n_processes < 1:
@@ -146,6 +152,39 @@ class ClockAlgorithm(abc.ABC):
         final by this call.  Default: nothing to do (online schemes).
         """
         return []
+
+    # ------------------------------------------------------------------
+    # crash-recovery support
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Any:
+        """Snapshot of the complete algorithm state.
+
+        The snapshot is self-contained: mutating the live algorithm after
+        taking it leaves the snapshot untouched, and :meth:`restore` brings
+        an instance back to exactly this state.  Hosts use checkpoints to
+        model crash-recovery of the timestamping service — a timestamp that
+        was final when the checkpoint was taken must read back identically
+        from a restored instance (finality is permanent; see the chaos
+        harness in :mod:`repro.faults.chaos`, which asserts this).
+
+        The default deep-copies the instance dictionary, which is correct
+        for every pure-Python scheme in the library; subclasses holding
+        external resources must override both methods.
+        """
+        import copy
+
+        return copy.deepcopy(self.__dict__)
+
+    def restore(self, state: Any) -> None:
+        """Replace the algorithm state with a :meth:`checkpoint` snapshot.
+
+        The snapshot itself is not consumed — it can be restored again.
+        """
+        import copy
+
+        state = copy.deepcopy(state)
+        self.__dict__.clear()
+        self.__dict__.update(state)
 
     def drain_newly_finalized(self) -> List[EventId]:
         """Events finalized since the last drain (hosts use this to record

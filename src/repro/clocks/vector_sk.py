@@ -45,6 +45,7 @@ class SKVectorClock(ClockAlgorithm):
 
     name = "vector-sk"
     characterizes_causality = True
+    requires_fifo_app = True
 
     def __init__(self, n_processes: int) -> None:
         super().__init__(n_processes)

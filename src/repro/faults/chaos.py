@@ -1,0 +1,297 @@
+"""Chaos harness: sweep fault scenarios × clock algorithms, assert invariants.
+
+The paper's central claim is that inline timestamps stay cheap because
+finalization rides on a small control round trip.  This harness checks that
+the claim survives *realistic* failure conditions, not just the clean
+asynchronous model: for every scenario (bursty loss, duplication, a healing
+partition, crash-recovery, plain control loss) and every attached algorithm
+it runs a full simulation and asserts the correctness invariant —
+
+    every pair of finalized timestamps must agree with happened-before
+    computed from the surviving execution
+
+(``characterizes`` for exact schemes, ``is_consistent`` for lossy ones such
+as Lamport clocks).  For crash scenarios it additionally verifies
+*permanence across recovery*: restoring the clock-state checkpoint taken at
+the crash instant must reproduce, bit for bit, every timestamp that was
+final before the crash.
+
+FIFO-requiring clocks (``requires_fifo_app``) are skipped automatically —
+the whole point of the sweep is lossy, non-FIFO delivery, which those
+schemes reject by design (see ``Simulation``'s construction-time guard).
+
+Use :func:`run_chaos` programmatically, ``repro chaos`` from the command
+line, or ``benchmarks/bench_e16_fault_tolerance.py`` for the asserted
+reproduction of the acceptance criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.clocks.base import ClockAlgorithm
+from repro.core import HappenedBeforeOracle
+from repro.faults.models import (
+    CrashSchedule,
+    DuplicationFault,
+    FaultModel,
+    GilbertElliottLoss,
+    PartitionFault,
+)
+from repro.sim.network import RetryPolicy
+from repro.sim.workload import UniformWorkload, Workload
+
+if TYPE_CHECKING:  # runtime import is deferred: runner imports faults.models
+    from repro.sim.runner import Simulation, SimulationResult
+from repro.topology.graph import CommunicationGraph
+
+ClockFactory = Callable[[], ClockAlgorithm]
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One fault configuration for the sweep."""
+
+    name: str
+    fault: Optional[FaultModel] = None
+    app_loss: float = 0.0
+    control_loss: float = 0.0
+
+    def describe(self) -> str:
+        parts = []
+        if self.fault is not None:
+            parts.append(self.fault.describe())
+        if self.app_loss:
+            parts.append(f"app_loss={self.app_loss:.0%}")
+        if self.control_loss:
+            parts.append(f"control_loss={self.control_loss:.0%}")
+        return " + ".join(parts) or "no faults"
+
+
+def default_scenarios(
+    n_processes: int, quick: bool = False
+) -> List[ChaosScenario]:
+    """The standard sweep: every fault class the models support.
+
+    Sized for a run of a few tens of virtual time units; partition and
+    crash windows sit mid-run so both the faulty and the healed regime are
+    exercised.  ``quick`` keeps one representative of each mechanism
+    (loss, duplication, crash) for smoke tests.
+    """
+    if n_processes < 2:
+        raise ValueError("need at least two processes")
+    half = list(range(n_processes // 2))
+    rest = list(range(n_processes // 2, n_processes))
+    victim = n_processes - 1  # never the cover/center candidate p0
+    scenarios = [
+        ChaosScenario("baseline"),
+        ChaosScenario(
+            "burst-loss-30",
+            fault=GilbertElliottLoss(p_enter_burst=0.15, p_exit_burst=0.35),
+        ),
+        ChaosScenario("control-loss-10", control_loss=0.10),
+        ChaosScenario(
+            "duplication", fault=DuplicationFault(rate=0.25, copies=2)
+        ),
+        ChaosScenario(
+            "partition-heal",
+            fault=PartitionFault([half, rest], start=5.0, duration=6.0),
+        ),
+        ChaosScenario(
+            "crash-recovery",
+            fault=CrashSchedule({victim: [(4.0, 10.0)]}),
+        ),
+    ]
+    if quick:
+        keep = {"burst-loss-30", "duplication", "crash-recovery"}
+        scenarios = [s for s in scenarios if s.name in keep]
+    return scenarios
+
+
+@dataclass(frozen=True)
+class ChaosCell:
+    """Outcome of one scenario × algorithm combination."""
+
+    scenario: str
+    clock: str
+    causality_ok: bool
+    checkpoint_ok: bool
+    finalized_fraction: float
+    mean_latency: float
+    retransmissions: int
+    duplicates_suppressed: int
+    abandoned: int
+    dropped_app: int
+    dropped_control: int
+    suppressed_events: int
+
+    @property
+    def ok(self) -> bool:
+        return self.causality_ok and self.checkpoint_ok
+
+
+@dataclass
+class ChaosReport:
+    """All cells of one sweep, plus skipped clock names."""
+
+    cells: List[ChaosCell] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    def failures(self) -> List[ChaosCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    def rows(self) -> List[List[object]]:
+        """Tabular view for :func:`repro.analysis.reports.format_table`."""
+        return [
+            [
+                cell.scenario,
+                cell.clock,
+                "OK" if cell.ok else "FAIL",
+                round(cell.finalized_fraction, 3),
+                round(cell.mean_latency, 2),
+                cell.retransmissions,
+                cell.duplicates_suppressed,
+                cell.abandoned,
+                cell.dropped_app,
+                cell.dropped_control,
+            ]
+            for cell in self.cells
+        ]
+
+
+ROW_HEADER = [
+    "scenario",
+    "clock",
+    "invariant",
+    "finalized frac",
+    "mean latency",
+    "retx",
+    "dups supp",
+    "abandoned",
+    "app drop",
+    "ctl drop",
+]
+
+
+def _checkpoint_permanence_ok(
+    result: SimulationResult,
+    name: str,
+    factory: ClockFactory,
+) -> bool:
+    """Timestamps finalized before a crash must survive checkpoint+restore.
+
+    For every crash checkpoint: restore it into a fresh instance and compare
+    the timestamp of each event that had been finalized by the crash instant
+    against the run's final assignment.  Finality means permanence, so any
+    difference is a correctness bug (either in the algorithm or in
+    checkpoint/restore).
+    """
+    if not result.crash_checkpoints:
+        return True
+    final_assignment = result.assignments[name]
+    fin_times = result.finalization_times[name]
+    for crash_time, snapshots in result.crash_checkpoints:
+        restored = factory()
+        restored.restore(snapshots[name])
+        for eid, t_final in fin_times.items():
+            if t_final > crash_time:
+                continue
+            then = restored.timestamp(eid)
+            if eid not in final_assignment:
+                return False
+            if then is None or then != final_assignment[eid]:
+                return False
+    return True
+
+
+def run_chaos(
+    graph: CommunicationGraph,
+    clock_factories: Mapping[str, ClockFactory],
+    scenarios: Optional[Sequence[ChaosScenario]] = None,
+    events_per_process: int = 20,
+    seed: int = 0,
+    reliable: bool = True,
+    retry: Optional[RetryPolicy] = None,
+    workload_factory: Optional[Callable[[], Workload]] = None,
+) -> ChaosReport:
+    """Run every scenario × algorithm cell and validate the invariants.
+
+    ``clock_factories`` maps display names to zero-argument constructors —
+    a fresh instance is built per cell because both clocks and simulations
+    are single-use.  ``reliable`` enables the retransmitting control
+    transport (*retry* overrides its parameters).  FIFO-requiring clocks
+    are recorded in ``ChaosReport.skipped`` instead of run.
+    """
+    from repro.sim.runner import Simulation  # deferred: avoids import cycle
+
+    if scenarios is None:
+        scenarios = default_scenarios(graph.n_vertices)
+    if retry is None:
+        retry = RetryPolicy()
+    if workload_factory is None:
+        workload_factory = lambda: UniformWorkload(  # noqa: E731
+            events_per_process=events_per_process, p_local=0.2
+        )
+
+    report = ChaosReport()
+    usable: Dict[str, ClockFactory] = {}
+    for name, factory in clock_factories.items():
+        if factory().requires_fifo_app:
+            report.skipped.append(name)
+        else:
+            usable[name] = factory
+
+    for scenario in scenarios:
+        clocks = {name: factory() for name, factory in usable.items()}
+        sim = Simulation(
+            graph,
+            seed=seed,
+            clocks=clocks,
+            app_loss_rate=scenario.app_loss,
+            control_loss_rate=scenario.control_loss,
+            fault_model=scenario.fault,
+            control_retry=retry if reliable else None,
+        )
+        result = sim.run(workload_factory())
+        oracle = HappenedBeforeOracle(result.execution)
+        for name, algo in clocks.items():
+            assignment = result.assignments[name]
+            validation = assignment.validate(oracle)
+            causality_ok = (
+                validation.characterizes
+                if algo.characterizes_causality
+                else validation.is_consistent
+            )
+            checkpoint_ok = _checkpoint_permanence_ok(
+                result, name, usable[name]
+            )
+            latencies = result.finalization_latencies(name)
+            mean_latency = (
+                sum(latencies.values()) / len(latencies) if latencies else 0.0
+            )
+            stats = result.stats[name]
+            report.cells.append(
+                ChaosCell(
+                    scenario=scenario.name,
+                    clock=name,
+                    causality_ok=causality_ok,
+                    checkpoint_ok=checkpoint_ok,
+                    finalized_fraction=result.fraction_finalized_during_run(
+                        name
+                    ),
+                    mean_latency=mean_latency,
+                    retransmissions=stats.control_retransmissions,
+                    duplicates_suppressed=stats.control_duplicates_suppressed,
+                    abandoned=stats.control_abandoned,
+                    dropped_app=result.dropped_app_messages
+                    + result.crash_dropped_app_messages,
+                    dropped_control=result.dropped_control_messages,
+                    suppressed_events=result.suppressed_events,
+                )
+            )
+    return report

@@ -4,8 +4,11 @@ from repro.sim.network import (
     ConstantDelay,
     DelayModel,
     ExponentialDelay,
+    LinkStats,
     Network,
     PerChannelDelay,
+    ReliableLink,
+    RetryPolicy,
     UniformDelay,
 )
 from repro.sim.adversary import FloodTiming, slow_victim_flood
@@ -30,8 +33,11 @@ __all__ = [
     "ConstantDelay",
     "DelayModel",
     "ExponentialDelay",
+    "LinkStats",
     "Network",
     "PerChannelDelay",
+    "ReliableLink",
+    "RetryPolicy",
     "UniformDelay",
     "AlgorithmStats",
     "ControlTransport",

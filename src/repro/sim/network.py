@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.core.events import ProcessId
-from repro.sim.scheduler import EventScheduler
+from repro.sim.scheduler import EventScheduler, TimerHandle
 
 
 class DelayModel(abc.ABC):
@@ -142,9 +143,184 @@ class Network:
         if fifo:
             key = (src, dst)
             floor = self._fifo_watermark.get(key, 0.0)
-            if when < floor:
+            # <= so a delivery can never tie the previous one on the same
+            # channel: equal-time deliveries would make FIFO order depend on
+            # scheduler insertion order rather than the channel discipline
+            if when <= floor:
                 when = floor + 1e-9
             self._fifo_watermark[key] = when
         self._scheduler.at(when, deliver)
         self._messages_sent += 1
         return when
+
+
+# ----------------------------------------------------------------------
+# reliable control transport
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission parameters for :class:`ReliableLink`.
+
+    The first retransmission fires *timeout* after the original send; each
+    subsequent one waits ``timeout * backoff**attempt``.  After
+    *max_retries* retransmissions the message is abandoned (termination
+    finalization still recovers the information offline, as always).
+
+    The default timeout comfortably exceeds the worst-case control round
+    trip under the simulator's default delay model (``UniformDelay(0.5,
+    1.5)`` each way, i.e. RTT ≤ 3.0) — a timeout below the RTT causes
+    spurious retransmissions of messages whose ack is still in flight.
+    """
+
+    timeout: float = 4.0
+    backoff: float = 1.5
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def retry_delay(self, attempt: int) -> float:
+        """Time to wait after transmission number *attempt* (0-based)."""
+        return self.timeout * self.backoff**attempt
+
+
+@dataclass
+class LinkStats:
+    """Transport-level accounting of one :class:`ReliableLink`."""
+
+    data_transmissions: int = 0
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    acks_received: int = 0
+    abandoned: int = 0
+
+
+class _Pending:
+    __slots__ = ("deliver", "acked", "timer")
+
+    def __init__(self, deliver: Callable[[], None]) -> None:
+        self.deliver = deliver
+        self.acked = False
+        self.timer: Optional[TimerHandle] = None
+
+
+class ReliableLink:
+    """Exactly-once control delivery over an unreliable datagram service.
+
+    The classic positive-acknowledgement protocol: every payload on a
+    directed channel carries a transport sequence number; the receiver
+    delivers each number once (suppressing duplicated or retransmitted
+    copies) and acknowledges every copy; the sender retransmits on timeout
+    with exponential backoff, giving up after
+    :attr:`RetryPolicy.max_retries` retransmissions.
+
+    The link owns no network model of its own — the host supplies
+    ``send_datagram(src, dst, deliver_cb, kind)``, an *unreliable* service
+    that may drop, delay, or duplicate each call ("data" payload copies and
+    "ack" confirmations alike).  That keeps every loss decision — rates,
+    fault models, crashed destinations — in one place, the simulation.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        policy: RetryPolicy,
+        send_datagram: Callable[[ProcessId, ProcessId, Callable[[], None], str], None],
+    ) -> None:
+        self._scheduler = scheduler
+        self._policy = policy
+        self._send_datagram = send_datagram
+        self._seq_out: Dict[Tuple[ProcessId, ProcessId], int] = {}
+        self._delivered: Dict[Tuple[ProcessId, ProcessId], Set[int]] = {}
+        self._in_flight: Set[int] = set()
+        self._next_token = 0
+        self.stats = LinkStats()
+
+    @property
+    def unacked(self) -> int:
+        """Messages sent but neither acknowledged nor abandoned yet."""
+        return len(self._in_flight)
+
+    def send(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        deliver: Callable[[], None],
+    ) -> None:
+        """Reliably run *deliver* at *dst*, exactly once, retrying as needed."""
+        key = (src, dst)
+        seq = self._seq_out.get(key, 0)
+        self._seq_out[key] = seq + 1
+        entry = _Pending(deliver)
+        token = self._next_token
+        self._next_token += 1
+        self._in_flight.add(token)
+        self._transmit(key, seq, entry, token, attempt=0)
+
+    # ------------------------------------------------------------------
+    def _transmit(
+        self,
+        key: Tuple[ProcessId, ProcessId],
+        seq: int,
+        entry: _Pending,
+        token: int,
+        attempt: int,
+    ) -> None:
+        if entry.acked:
+            return
+        self.stats.data_transmissions += 1
+        if attempt > 0:
+            self.stats.retransmissions += 1
+        src, dst = key
+        self._send_datagram(
+            src, dst, lambda: self._on_data(key, seq, entry, token), "data"
+        )
+        delay = self._policy.retry_delay(attempt)
+        if attempt < self._policy.max_retries:
+            entry.timer = self._scheduler.after(
+                delay,
+                lambda: self._transmit(key, seq, entry, token, attempt + 1),
+            )
+        else:
+            entry.timer = self._scheduler.after(
+                delay, lambda: self._give_up(entry, token)
+            )
+
+    def _on_data(
+        self,
+        key: Tuple[ProcessId, ProcessId],
+        seq: int,
+        entry: _Pending,
+        token: int,
+    ) -> None:
+        # a copy of (key, seq) arrived at the receiver
+        seen = self._delivered.setdefault(key, set())
+        if seq in seen:
+            self.stats.duplicates_suppressed += 1
+        else:
+            seen.add(seq)
+            entry.deliver()
+        # acknowledge every copy: the ack for an earlier one may be lost
+        src, dst = key
+        self._send_datagram(
+            dst, src, lambda: self._on_ack(entry, token), "ack"
+        )
+
+    def _on_ack(self, entry: _Pending, token: int) -> None:
+        if entry.acked:
+            return
+        entry.acked = True
+        self.stats.acks_received += 1
+        self._in_flight.discard(token)
+        if entry.timer is not None:
+            entry.timer.cancel()
+
+    def _give_up(self, entry: _Pending, token: int) -> None:
+        if not entry.acked:
+            self.stats.abandoned += 1
+            self._in_flight.discard(token)

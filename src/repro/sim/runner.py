@@ -18,20 +18,40 @@ Control transport policies (paper Section 3.2 discusses both):
   finalization is delayed until such a message happens to be sent (the
   trade-off the paper points out), and some controls may never be
   transported — termination finalization then completes them.
+
+Robustness machinery (see :mod:`repro.faults`):
+
+- a pluggable :class:`~repro.faults.models.FaultModel` injects structured
+  failures — bursty loss, duplication, partitions, process crashes — on top
+  of the independent ``app_loss_rate`` / ``control_loss_rate`` knobs;
+- passing a :class:`~repro.sim.network.RetryPolicy` as ``control_retry``
+  upgrades the EAGER control transport to a reliable one
+  (:class:`~repro.sim.network.ReliableLink`): sequence numbers, positive
+  acks, timeout retransmission with exponential backoff, and duplicate
+  suppression, so inline finalization survives lossy control channels
+  instead of degrading to offline (termination-only) finalization.
 """
 
 from __future__ import annotations
 
 import enum
 import random
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.clocks.base import ClockAlgorithm, ControlMessage
 from repro.clocks.replay import TimestampAssignment
 from repro.core.events import Event, EventId, MessageId, ProcessId
 from repro.core.execution import Execution, ExecutionBuilder
-from repro.sim.network import DelayModel, Network, UniformDelay
+from repro.faults.models import DELIVER, FaultModel
+from repro.sim.network import (
+    DelayModel,
+    Network,
+    ReliableLink,
+    RetryPolicy,
+    UniformDelay,
+)
 from repro.sim.scheduler import EventScheduler
 from repro.sim.workload import Workload
 from repro.topology.graph import CommunicationGraph
@@ -46,11 +66,25 @@ class ControlTransport(enum.Enum):
 
 @dataclass
 class AlgorithmStats:
-    """Per-algorithm communication accounting for one simulation run."""
+    """Per-algorithm communication accounting for one simulation run.
+
+    The ``control_*`` transport counters are populated by the reliable
+    control transport (``control_retry``) and by duplicate suppression of
+    fault-injected control copies; they stay 0 on a fault-free run with the
+    fire-and-forget transport.
+    """
 
     app_payload_elements: int = 0
     control_messages: int = 0
     control_elements: int = 0
+    #: datagram copies re-sent after an acknowledgement timeout
+    control_retransmissions: int = 0
+    #: received control copies suppressed as already-delivered
+    control_duplicates_suppressed: int = 0
+    #: acknowledgements received by the reliable transport
+    control_acks: int = 0
+    #: control messages given up on after exhausting retries
+    control_abandoned: int = 0
 
     def total_elements(self) -> int:
         return self.app_payload_elements + self.control_elements
@@ -70,6 +104,18 @@ class SimulationResult:
     app_messages: int
     dropped_app_messages: int = 0
     dropped_control_messages: int = 0
+    #: extra application-message copies suppressed at the receiver
+    duplicate_app_deliveries: int = 0
+    #: application messages whose every copy found the destination crashed
+    crash_dropped_app_messages: int = 0
+    #: workload actions skipped because the acting process was down
+    suppressed_events: int = 0
+    #: piggybacked controls whose carrier was dropped and that stayed queued
+    piggyback_controls_retained: int = 0
+    #: ``(crash_time, {clock_name: checkpoint})`` taken at each crash instant
+    crash_checkpoints: List[Tuple[float, Dict[str, Any]]] = field(
+        default_factory=list
+    )
 
     def finalization_latencies(self, name: str) -> Dict[EventId, float]:
         """Virtual-time lag from event occurrence to a permanent timestamp.
@@ -115,8 +161,23 @@ class Simulation:
         dropped with this probability.  A dropped application message's
         send event still occurs (the paper's model permits messages that
         are never received); a dropped control message delays finalization
-        until termination flushing.  Incompatible with FIFO-requiring
-        baselines like SK (a lost diff is an unfillable gap).
+        until termination flushing (unless ``control_retry`` retransmits
+        it).  Incompatible with FIFO-requiring baselines like SK (a lost
+        diff is an unfillable gap) — rejected at construction.
+    fault_model:
+        Structured fault injection (:mod:`repro.faults.models`): bursty
+        loss, duplication, partitions, crash/recovery.  Applied on top of
+        the independent loss rates.  Crashed processes perform no events
+        and deliveries to them are dropped; at each crash instant every
+        attached clock is checkpointed
+        (:meth:`~repro.clocks.base.ClockAlgorithm.checkpoint`) and the
+        snapshots are returned in ``SimulationResult.crash_checkpoints``.
+    control_retry:
+        A :class:`~repro.sim.network.RetryPolicy` enabling the reliable
+        control transport (EAGER only): sequence-numbered datagrams,
+        positive acks, timeout retransmission with exponential backoff and
+        bounded retries, duplicate suppression.  ``None`` (default) keeps
+        the legacy fire-and-forget transport.
     """
 
     def __init__(
@@ -130,6 +191,8 @@ class Simulation:
         fifo_app_channels: bool = False,
         app_loss_rate: float = 0.0,
         control_loss_rate: float = 0.0,
+        fault_model: Optional[FaultModel] = None,
+        control_retry: Optional[RetryPolicy] = None,
     ) -> None:
         self._graph = graph
         self._seed = seed
@@ -148,7 +211,53 @@ class Simulation:
             raise ValueError("loss rates must be in [0, 1)")
         self._app_loss = app_loss_rate
         self._control_loss = control_loss_rate
+        self._fault_model = fault_model
+        if control_retry is not None and control_transport is not ControlTransport.EAGER:
+            raise ValueError(
+                "control_retry requires the EAGER control transport "
+                "(piggybacked controls ride application messages and cannot "
+                "be individually retransmitted)"
+            )
+        self._control_retry = control_retry
+        self._check_fifo_compatibility()
         self._ran = False
+
+    def _check_fifo_compatibility(self) -> None:
+        """Reject configurations that silently break FIFO-requiring clocks.
+
+        Schemes with :attr:`~repro.clocks.base.ClockAlgorithm
+        .requires_fifo_app` (e.g. Singhal–Kshemkalyani) need loss-free
+        per-channel FIFO application delivery; combining them with non-FIFO
+        channels or with anything that can drop or duplicate application
+        messages used to be documented-only — now it fails fast.
+        """
+        app_hazard = self._app_loss > 0.0 or (
+            self._fault_model is not None
+            and self._fault_model.can_disrupt_app()
+        )
+        for name, algo in self._clock_map.items():
+            if not algo.requires_fifo_app:
+                continue
+            if not self._fifo_app:
+                raise ValueError(
+                    f"clock {name!r} ({algo.name}) requires FIFO application "
+                    f"channels; pass fifo_app_channels=True"
+                )
+            if app_hazard:
+                raise ValueError(
+                    f"clock {name!r} ({algo.name}) requires loss-free FIFO "
+                    f"application delivery, but app_loss_rate/fault_model can "
+                    f"drop or duplicate application messages (a lost diff is "
+                    f"an unfillable gap)"
+                )
+            if self._control_loss > 0.0:
+                warnings.warn(
+                    f"clock {name!r} ({algo.name}) requires FIFO delivery; "
+                    f"control_loss_rate > 0 does not affect it directly (it "
+                    f"uses no control messages) but usually indicates a "
+                    f"lossy-network configuration it cannot survive",
+                    stacklevel=3,
+                )
 
     # ------------------------------------------------------------------
     # SimHandle surface (used by workloads)
@@ -168,8 +277,11 @@ class Simulation:
     def schedule(self, delay: float, fn) -> None:
         self._scheduler.after(delay, fn)
 
-    def do_local(self, proc: ProcessId) -> Event:
-        """Perform a local event at *proc* now."""
+    def do_local(self, proc: ProcessId) -> Optional[Event]:
+        """Perform a local event at *proc* now (``None`` if *proc* is down)."""
+        if not self._process_up(proc):
+            self._suppressed_events += 1
+            return None
         ev = self._builder.local(proc)
         self._event_times[ev.eid] = self.now
         for i, algo in enumerate(self._algos):
@@ -177,32 +289,83 @@ class Simulation:
             self._drain(i)
         return ev
 
-    def do_send(self, src: ProcessId, dst: ProcessId) -> Event:
-        """Send an application message from *src* to *dst* now."""
+    def do_send(self, src: ProcessId, dst: ProcessId) -> Optional[Event]:
+        """Send an application message from *src* to *dst* now.
+
+        Returns ``None`` (and performs nothing) when *src* is crashed.
+        """
+        if not self._process_up(src):
+            self._suppressed_events += 1
+            return None
         msg_id = self._builder.send(src, dst)
         ev = self._builder.last_event(src)
         self._event_times[ev.eid] = self.now
+        # Decide the message's fate *before* touching pending piggybacked
+        # controls: controls whose carrier is dropped must stay queued for
+        # the next carrier, not vanish silently.
+        dropped = self._app_loss > 0.0 and self._rng.random() < self._app_loss
+        copies = 1
+        if not dropped and self._fault_model is not None:
+            fate = self._fault_model.message_fate(
+                src, dst, self.now, self._rng, control=False
+            )
+            dropped = fate.drop
+            copies = fate.copies
         piggyback: List[Optional[List[ControlMessage]]] = []
         for i, algo in enumerate(self._algos):
             payload = algo.on_send(ev)
             self._payloads[i][msg_id] = payload
             self._stats[i].app_payload_elements += algo.payload_elements(payload)
             self._drain(i)
-            if self._transport is ControlTransport.PIGGYBACK:
-                pending = self._pending_controls[i].pop((src, dst), None)
-                piggyback.append(pending)
+            if self._transport is ControlTransport.PIGGYBACK and not dropped:
+                piggyback.append(self._pending_controls[i].pop((src, dst), None))
             else:
+                if dropped and self._transport is ControlTransport.PIGGYBACK:
+                    retained = self._pending_controls[i].get((src, dst))
+                    if retained:
+                        self._retained_piggyback += len(retained)
                 piggyback.append(None)
-        if self._app_loss > 0.0 and self._rng.random() < self._app_loss:
+        if dropped:
             self._dropped_app += 1
         else:
-            self._network.transmit(
-                src,
-                dst,
-                lambda: self._deliver(msg_id, piggyback),
-                fifo=self._fifo_app,
-            )
+            self._transmit_app(src, dst, msg_id, piggyback, copies)
         return ev
+
+    def _transmit_app(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        msg_id: MessageId,
+        piggyback: Sequence[Optional[List[ControlMessage]]],
+        copies: int,
+    ) -> None:
+        """Schedule *copies* deliveries; the first to arrive at a live
+        destination wins, later copies are counted as suppressed duplicates."""
+        state = {"delivered": False, "crash_counted": False}
+
+        def deliver_copy() -> None:
+            if state["delivered"]:
+                self._dup_app_suppressed += 1
+                return
+            if not self._process_up(dst):
+                if not state["crash_counted"]:
+                    state["crash_counted"] = True
+                    self._crash_dropped_app += 1
+                return
+            state["delivered"] = True
+            if state["crash_counted"]:
+                # an earlier copy hit the outage, but this one made it
+                state["crash_counted"] = False
+                self._crash_dropped_app -= 1
+            self._deliver(msg_id, piggyback)
+
+        for _ in range(copies):
+            self._network.transmit(src, dst, deliver_copy, fifo=self._fifo_app)
+
+    def _process_up(self, proc: ProcessId) -> bool:
+        return self._fault_model is None or self._fault_model.process_up(
+            proc, self.now
+        )
 
     # ------------------------------------------------------------------
     # internals
@@ -238,23 +401,79 @@ class Simulation:
             ).append(cm)
             return
         algo = self._algos[algo_idx]
-        self._stats[algo_idx].control_messages += 1
-        self._stats[algo_idx].control_elements += algo.payload_elements(cm.payload)
-        if self._control_loss > 0.0 and self._rng.random() < self._control_loss:
-            self._dropped_control += 1
-            return
+        stats = self._stats[algo_idx]
+        stats.control_messages += 1
+        stats.control_elements += algo.payload_elements(cm.payload)
 
         def deliver_control() -> None:
             algo.on_control(cm.src, cm.dst, cm.payload)
             self._drain(algo_idx)
 
-        self._network.transmit(
-            cm.src,
-            cm.dst,
-            deliver_control,
-            fifo=True,
-            delay_model=self._control_delay_model,
-        )
+        link = self._links[algo_idx]
+        if link is not None:
+            link.send(cm.src, cm.dst, deliver_control)
+        else:
+            self._send_control_datagram(
+                cm.src, cm.dst, deliver_control, "data", dedup_stats=stats
+            )
+
+    def _send_control_datagram(
+        self,
+        src: ProcessId,
+        dst: ProcessId,
+        deliver_cb: Callable[[], None],
+        kind: str = "data",
+        dedup_stats: Optional[AlgorithmStats] = None,
+    ) -> None:
+        """The unreliable control datagram service.
+
+        Applies the independent control loss rate, the fault model, and
+        destination liveness, then ships over the FIFO control channel with
+        the control delay model.  ``kind`` is ``"data"`` for control
+        payloads and ``"ack"`` for reliable-transport acknowledgements;
+        only lost data datagrams count into ``dropped_control_messages``.
+
+        With *dedup_stats*, fault-injected duplicate copies are suppressed
+        first-copy-wins (the fire-and-forget path, where the clock
+        algorithms require exactly-once control delivery); without it every
+        copy invokes *deliver_cb* and the caller — the reliable link —
+        dedups by sequence number.
+        """
+        if self._control_loss > 0.0 and self._rng.random() < self._control_loss:
+            if kind == "data":
+                self._dropped_control += 1
+            return
+        fate = DELIVER
+        if self._fault_model is not None:
+            fate = self._fault_model.message_fate(
+                src, dst, self.now, self._rng, control=True
+            )
+        if fate.drop:
+            if kind == "data":
+                self._dropped_control += 1
+            return
+        state = {"delivered": False}
+
+        def guarded() -> None:
+            if not self._process_up(dst):
+                if kind == "data":
+                    self._dropped_control += 1
+                return
+            if dedup_stats is not None:
+                if state["delivered"]:
+                    dedup_stats.control_duplicates_suppressed += 1
+                    return
+                state["delivered"] = True
+            deliver_cb()
+
+        for _ in range(fate.copies):
+            self._network.transmit(
+                src,
+                dst,
+                guarded,
+                fifo=True,
+                delay_model=self._control_delay_model,
+            )
 
     def _drain(self, algo_idx: int) -> None:
         for eid in self._algos[algo_idx].drain_newly_finalized():
@@ -298,12 +517,40 @@ class Simulation:
         ]
         self._dropped_app = 0
         self._dropped_control = 0
+        self._dup_app_suppressed = 0
+        self._crash_dropped_app = 0
+        self._suppressed_events = 0
+        self._retained_piggyback = 0
+        self._crash_checkpoints: List[Tuple[float, Dict[str, Any]]] = []
+        self._links: List[Optional[ReliableLink]] = [
+            ReliableLink(
+                self._scheduler, self._control_retry, self._send_control_datagram
+            )
+            if self._control_retry is not None
+            else None
+            for _ in self._algos
+        ]
         self._workload = workload
+
+        if self._fault_model is not None:
+            self._fault_model.reset(self._rng)
+            for t, proc, up in self._fault_model.liveness_transitions():
+                if not up:
+                    self._scheduler.at(t, self._make_crash_hook())
 
         workload.setup(self)
         self._scheduler.run(max_time=max_time, max_steps=max_steps)
         duration = self._scheduler.now
         execution = self._builder.freeze()
+
+        for i, link in enumerate(self._links):
+            if link is None:
+                continue
+            st = self._stats[i]
+            st.control_retransmissions += link.stats.retransmissions
+            st.control_duplicates_suppressed += link.stats.duplicates_suppressed
+            st.control_acks += link.stats.acks_received
+            st.control_abandoned += link.stats.abandoned
 
         assignments: Dict[str, TimestampAssignment] = {}
         for i, (name, algo) in enumerate(zip(self._names, self._algos)):
@@ -336,4 +583,31 @@ class Simulation:
             app_messages=len(execution.messages),
             dropped_app_messages=self._dropped_app,
             dropped_control_messages=self._dropped_control,
+            duplicate_app_deliveries=self._dup_app_suppressed,
+            crash_dropped_app_messages=self._crash_dropped_app,
+            suppressed_events=self._suppressed_events,
+            piggyback_controls_retained=self._retained_piggyback,
+            crash_checkpoints=self._crash_checkpoints,
         )
+
+    def _make_crash_hook(self) -> Callable[[], None]:
+        """Checkpoint every attached clock at a crash instant.
+
+        Models the durable snapshot a crash-recovering timestamping service
+        restores from; the chaos harness asserts that timestamps finalized
+        before the crash read back identically from the snapshot
+        (permanence survives crash-recovery).
+        """
+
+        def snap() -> None:
+            self._crash_checkpoints.append(
+                (
+                    self.now,
+                    {
+                        name: algo.checkpoint()
+                        for name, algo in zip(self._names, self._algos)
+                    },
+                )
+            )
+
+        return snap

@@ -14,14 +14,41 @@ from typing import Callable, List, Optional, Tuple
 Callback = Callable[[], None]
 
 
+class TimerHandle:
+    """Cancellation token for a scheduled callback.
+
+    Cancelling is O(1): the heap entry stays queued but is skipped on pop
+    without executing, advancing virtual time, or counting as a step.  The
+    retransmission timers of the reliable control transport rely on this —
+    an acknowledged message must not stretch the run out to its (now moot)
+    retry deadline.
+    """
+
+    __slots__ = ("_cancelled", "_scheduler")
+
+    def __init__(self, scheduler: "EventScheduler") -> None:
+        self._cancelled = False
+        self._scheduler = scheduler
+
+    def cancel(self) -> None:
+        if not self._cancelled:
+            self._cancelled = True
+            self._scheduler._cancelled_pending += 1
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
 class EventScheduler:
     """Runs callbacks in virtual-time order."""
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callback]] = []
+        self._heap: List[Tuple[float, int, Callback, TimerHandle]] = []
         self._seq = 0
         self._now = 0.0
         self._steps = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -30,25 +57,27 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not yet executed callbacks."""
-        return len(self._heap)
+        """Number of scheduled, not yet executed (nor cancelled) callbacks."""
+        return len(self._heap) - self._cancelled_pending
 
     @property
     def steps_executed(self) -> int:
         return self._steps
 
-    def at(self, time: float, fn: Callback) -> None:
+    def at(self, time: float, fn: Callback) -> TimerHandle:
         """Schedule *fn* at absolute virtual time *time*."""
         if time < self._now:
             raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
-        heapq.heappush(self._heap, (time, self._seq, fn))
+        handle = TimerHandle(self)
+        heapq.heappush(self._heap, (time, self._seq, fn, handle))
         self._seq += 1
+        return handle
 
-    def after(self, delay: float, fn: Callback) -> None:
+    def after(self, delay: float, fn: Callback) -> TimerHandle:
         """Schedule *fn* after *delay* units of virtual time."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        self.at(self._now + delay, fn)
+        return self.at(self._now + delay, fn)
 
     def run(
         self,
@@ -65,11 +94,18 @@ class EventScheduler:
         while self._heap:
             if max_steps is not None and steps >= max_steps:
                 break
-            time, _seq, fn = self._heap[0]
+            time, _seq, fn, handle = self._heap[0]
+            if handle.cancelled:
+                heapq.heappop(self._heap)
+                self._cancelled_pending -= 1
+                continue
             if max_time is not None and time > max_time:
                 break
             heapq.heappop(self._heap)
             self._now = time
+            # executed entries can no longer be cancelled; flag directly so a
+            # late cancel() does not skew the pending-count bookkeeping
+            handle._cancelled = True
             fn()
             steps += 1
             self._steps += 1

@@ -47,9 +47,9 @@ class SimHandle(Protocol):
     @property
     def now(self) -> float: ...
 
-    def do_local(self, proc: ProcessId) -> Event: ...
+    def do_local(self, proc: ProcessId) -> Optional[Event]: ...
 
-    def do_send(self, src: ProcessId, dst: ProcessId) -> Event: ...
+    def do_send(self, src: ProcessId, dst: ProcessId) -> Optional[Event]: ...
 
     def schedule(self, delay: float, fn) -> None: ...
 
@@ -221,6 +221,8 @@ class BroadcastWorkload(Workload):
             for q in sorted(sim.graph.neighbors(p)):
                 if q != heard_from:
                     ev = sim.do_send(p, q)
+                    if ev is None:  # p is crashed; fault injection active
+                        return
                     assert ev.msg_id is not None
                     self._round_of_msg[ev.msg_id] = round_id
 

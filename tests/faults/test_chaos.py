@@ -1,0 +1,113 @@
+"""Tests for the chaos harness (scenario sweep + invariant checks)."""
+
+import pytest
+
+from repro.clocks import LamportClock, SKVectorClock, StarInlineClock
+from repro.faults import (
+    ChaosCell,
+    ChaosScenario,
+    CrashSchedule,
+    GilbertElliottLoss,
+    ROW_HEADER,
+    default_scenarios,
+    run_chaos,
+)
+from repro.topology import generators
+
+N = 6
+
+
+def factories():
+    return {
+        "inline": lambda: StarInlineClock(N),
+        "lamport": lambda: LamportClock(N),
+    }
+
+
+class TestDefaultScenarios:
+    def test_full_set_covers_the_fault_taxonomy(self):
+        names = [s.name for s in default_scenarios(N)]
+        assert names[0] == "baseline"
+        for expected in ("burst-loss-30", "control-loss-10", "duplication",
+                         "partition-heal", "crash-recovery"):
+            assert expected in names
+
+    def test_quick_subset(self):
+        quick = {s.name for s in default_scenarios(N, quick=True)}
+        assert quick == {"burst-loss-30", "duplication", "crash-recovery"}
+
+    def test_scenarios_scale_with_process_count(self):
+        for n in (3, 12):
+            for s in default_scenarios(n):
+                if isinstance(s.fault, CrashSchedule):
+                    assert s.fault.process_up(n - 1, 5.0) is False
+
+
+class TestRunChaos:
+    def test_sweep_upholds_invariants_and_fills_cells(self):
+        g = generators.star(N)
+        report = run_chaos(
+            g, factories(), scenarios=default_scenarios(N, quick=True),
+            events_per_process=8, seed=0,
+        )
+        assert report.ok
+        assert len(report.cells) == 3 * 2
+        assert report.failures() == []
+        rows = report.rows()
+        assert len(rows) == len(report.cells)
+        assert all(len(r) == len(ROW_HEADER) for r in rows)
+
+    def test_fifo_requiring_clock_is_skipped(self):
+        g = generators.star(N)
+        fs = dict(factories())
+        fs["sk"] = lambda: SKVectorClock(N)
+        report = run_chaos(
+            g, fs, scenarios=[ChaosScenario(name="baseline")],
+            events_per_process=5, seed=0,
+        )
+        assert report.skipped == ["sk"]
+        assert {c.clock for c in report.cells} == {"inline", "lamport"}
+
+    def test_crash_scenario_verifies_checkpoints(self):
+        g = generators.star(N)
+        report = run_chaos(
+            g, factories(),
+            scenarios=[ChaosScenario(
+                name="crash", fault=CrashSchedule({2: [(3.0, 9.0)]}))],
+            events_per_process=10, seed=1,
+        )
+        assert report.ok
+        assert all(c.checkpoint_ok for c in report.cells)
+
+    def test_unreliable_mode_reduces_inline_coverage(self):
+        g = generators.star(N)
+        scenario = ChaosScenario(
+            name="loss",
+            fault=GilbertElliottLoss(p_enter_burst=0.15, p_exit_burst=0.35,
+                                     scope="control"),
+        )
+        kw = dict(scenarios=[scenario], events_per_process=15, seed=1)
+        rel = run_chaos(g, factories(), reliable=True, **kw)
+        raw = run_chaos(g, factories(), reliable=False, **kw)
+        cell = lambda rep: next(  # noqa: E731
+            c for c in rep.cells if c.clock == "inline")
+        assert rel.ok and raw.ok
+        assert cell(rel).finalized_fraction > cell(raw).finalized_fraction
+        assert cell(rel).retransmissions > 0
+        assert cell(raw).retransmissions == 0
+
+
+class TestChaosCell:
+    def test_ok_requires_both_invariants(self):
+        def cell(**kw):
+            base = dict(scenario="s", clock="c", causality_ok=True,
+                        checkpoint_ok=True, finalized_fraction=1.0,
+                        mean_latency=0.0, retransmissions=0,
+                        duplicates_suppressed=0, abandoned=0, dropped_app=0,
+                        dropped_control=0, suppressed_events=0)
+            base.update(kw)
+            return ChaosCell(**base)
+
+        assert cell().ok
+        assert not cell(checkpoint_ok=False).ok
+        assert not cell(causality_ok=False).ok

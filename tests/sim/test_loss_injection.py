@@ -64,6 +64,44 @@ class TestControlLoss:
         assert res.fraction_finalized_during_run("vector") == 1.0
 
 
+class TestDropAccounting:
+    def test_empirical_app_drop_rate_matches_configured(self):
+        drops = sent = 0
+        for seed in range(5):
+            res = run(app_loss=0.3, seed=seed, events=30)
+            drops += res.dropped_app_messages
+            # the execution records every send, delivered or not
+            sent += len(res.execution.messages)
+        assert drops / sent == pytest.approx(0.3, abs=0.05)
+
+    def test_control_drops_counted_per_datagram(self):
+        res = run(control_loss=0.4, seed=3)
+        assert res.dropped_control_messages > 0
+        # only genuinely sent control messages can be dropped
+        assert res.dropped_control_messages <= sum(
+            s.control_messages for s in res.stats.values()
+        )
+
+    def test_lossless_run_counts_nothing(self):
+        res = run()
+        assert res.dropped_app_messages == 0
+        assert res.dropped_control_messages == 0
+        assert res.duplicate_app_deliveries == 0
+        assert res.suppressed_events == 0
+
+
+class TestTerminationFlushing:
+    def test_every_event_timestamped_despite_heavy_control_loss(self):
+        """Whatever finalization the run misses, the termination flush must
+        recover: the final assignment covers every event exactly."""
+        res = run(control_loss=0.8, seed=6)
+        assert res.fraction_finalized_during_run("inline") < 1.0
+        asg = res.assignments["inline"]
+        for ev in res.execution.all_events():
+            assert ev.eid in asg
+        assert asg.validate(HappenedBeforeOracle(res.execution)).characterizes
+
+
 class TestCoverClockUnderLoss:
     def test_general_graph_with_both_losses(self):
         g = generators.double_star(2, 3)

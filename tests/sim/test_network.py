@@ -102,6 +102,17 @@ class TestNetwork:
         sched.run()
         assert order == ["second", "first"]
 
+    def test_fifo_tie_is_broken_strictly(self):
+        """Regression: two same-instant sends with equal delay used to tie
+        at the watermark, leaving FIFO order to scheduler insertion order;
+        the second delivery must be pushed strictly later."""
+        sched = EventScheduler()
+        net = Network(sched, ConstantDelay(1.0), random.Random(0))
+        t1 = net.transmit(0, 1, lambda: None, fifo=True)
+        t2 = net.transmit(0, 1, lambda: None, fifo=True)
+        assert t1 == 1.0
+        assert t2 > t1
+
     def test_per_call_delay_model(self):
         sched = EventScheduler()
         net = Network(sched, ConstantDelay(5.0), random.Random(0))

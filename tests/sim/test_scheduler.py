@@ -83,3 +83,60 @@ class TestValidation:
         s = EventScheduler()
         with pytest.raises(ValueError):
             s.after(-1.0, lambda: None)
+
+
+class TestTimerCancellation:
+    def test_cancelled_timer_does_not_fire(self):
+        s = EventScheduler()
+        log = []
+        handle = s.at(2.0, lambda: log.append("x"))
+        s.at(1.0, lambda: log.append("a"))
+        handle.cancel()
+        s.run()
+        assert log == ["a"]
+
+    def test_cancel_updates_pending_count(self):
+        s = EventScheduler()
+        h = s.at(1.0, lambda: None)
+        s.at(2.0, lambda: None)
+        assert s.pending == 2
+        h.cancel()
+        assert s.pending == 1
+        s.run()
+        assert s.pending == 0
+
+    def test_cancel_is_idempotent(self):
+        s = EventScheduler()
+        h = s.at(1.0, lambda: None)
+        h.cancel()
+        h.cancel()
+        assert s.pending == 0
+        s.run()
+
+    def test_cancel_after_execution_is_harmless(self):
+        s = EventScheduler()
+        h = s.at(1.0, lambda: None)
+        s.at(2.0, lambda: None)
+        s.run(max_time=1.5)
+        h.cancel()  # already fired; must not skew bookkeeping
+        assert s.pending == 1
+        s.run()
+        assert s.pending == 0
+
+    def test_skipping_cancelled_head_does_not_advance_time(self):
+        s = EventScheduler()
+        seen = []
+        h = s.at(5.0, lambda: None)
+        s.at(7.0, lambda: seen.append(s.now))
+        h.cancel()
+        s.run()
+        assert seen == [7.0]
+        assert s.steps_executed == 1
+
+    def test_cancel_from_earlier_callback(self):
+        s = EventScheduler()
+        log = []
+        h = s.at(3.0, lambda: log.append("late"))
+        s.at(1.0, h.cancel)
+        s.run()
+        assert log == []

@@ -86,6 +86,31 @@ class TestSync:
         assert rc == 0
 
 
+class TestChaos:
+    def test_quick_sweep_passes(self, capsys):
+        rc = main(["chaos", "--quick", "--n", "6", "--events", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "all scenario × clock invariants hold" in out
+        assert "reliable" in out
+        for scenario in ("burst-loss-30", "duplication", "crash-recovery"):
+            assert scenario in out
+
+    def test_unreliable_mode(self, capsys):
+        rc = main(["chaos", "--quick", "--n", "5", "--events", "6",
+                   "--unreliable"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fire-and-forget" in out
+
+    def test_fifo_requiring_clock_skipped(self, capsys):
+        rc = main(["chaos", "--quick", "--n", "5", "--events", "6",
+                   "--clocks", "vector-sk", "vector"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "skipped FIFO-requiring clocks: vector-sk" in out
+
+
 class TestExperiments:
     def test_quick_reproduction(self, capsys):
         rc = main(["experiments"])

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.baselines",
     "repro.topology",
     "repro.sim",
+    "repro.faults",
     "repro.sync",
     "repro.lowerbounds",
     "repro.applications",
