@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import Dict
 
+from repro.bench import cell_seed, default_jobs as bench_jobs, parallel_map
 from repro.clocks import (
     ClockAlgorithm,
     CoverInlineClock,
@@ -46,6 +47,16 @@ def sample_execution(graph: CommunicationGraph, seed: int, steps: int = 200):
     return random_execution(
         graph, random.Random(seed), steps=steps, deliver_all=True
     )
+
+
+__all__ = [
+    "bench_jobs",
+    "cell_seed",
+    "parallel_map",
+    "print_header",
+    "sample_execution",
+    "topology_suite",
+]
 
 
 def print_header(title: str) -> None:

@@ -30,7 +30,9 @@ from repro.faults import (
 from repro.sim import RetryPolicy
 from repro.topology import generators
 
-from _common import print_header
+from functools import partial
+
+from _common import bench_jobs, print_header
 
 N = 8
 EVENTS = 15
@@ -38,7 +40,8 @@ SEED = 1
 
 
 def _factories(n):
-    return {"inline-star": lambda: StarInlineClock(n)}
+    # partial of a top-level class stays picklable for run_chaos(jobs=N)
+    return {"inline-star": partial(StarInlineClock, n)}
 
 
 def _sweep(reliable):
@@ -50,6 +53,7 @@ def _sweep(reliable):
         events_per_process=EVENTS,
         seed=SEED,
         reliable=reliable,
+        jobs=bench_jobs(),
     )
 
 

@@ -12,36 +12,41 @@ from repro.analysis.reports import format_table
 from repro.clocks import CoverInlineClock, VectorClock, replay
 from repro.topology.vertex_cover import best_cover
 
-from _common import print_header, sample_execution, topology_suite
+from _common import parallel_map, print_header, sample_execution, \
+    topology_suite
 
 
-def build_rows(n_values=(8, 16, 32), seed=1):
-    rows = []
-    for n in n_values:
-        for name, graph in topology_suite(n, seed=seed).items():
-            cover = best_cover(graph)
-            ex = sample_execution(graph, seed=seed, steps=6 * graph.n_vertices)
-            inline, vector = replay(
-                ex,
-                [
-                    CoverInlineClock(graph, tuple(cover)),
-                    VectorClock(graph.n_vertices),
-                ],
-            )
-            rows.append(
-                {
-                    "n": graph.n_vertices,
-                    "topology": name,
-                    "|VC|": len(cover),
-                    "inline_max": inline.max_elements(),
-                    "inline_mean": round(inline.mean_elements(), 2),
-                    "bound 2|VC|+2": 2 * len(cover) + 2,
-                    "vector": vector.max_elements(),
-                    "inline_wins": inline.max_elements()
-                    < vector.max_elements(),
-                }
-            )
-    return rows
+def _size_cell(payload):
+    """One (n, topology) sweep cell — module-level for parallel_map."""
+    name, graph, seed = payload
+    cover = best_cover(graph)
+    ex = sample_execution(graph, seed=seed, steps=6 * graph.n_vertices)
+    inline, vector = replay(
+        ex,
+        [
+            CoverInlineClock(graph, tuple(cover)),
+            VectorClock(graph.n_vertices),
+        ],
+    )
+    return {
+        "n": graph.n_vertices,
+        "topology": name,
+        "|VC|": len(cover),
+        "inline_max": inline.max_elements(),
+        "inline_mean": round(inline.mean_elements(), 2),
+        "bound 2|VC|+2": 2 * len(cover) + 2,
+        "vector": vector.max_elements(),
+        "inline_wins": inline.max_elements() < vector.max_elements(),
+    }
+
+
+def build_rows(n_values=(8, 16, 32), seed=1, jobs=None):
+    cells = [
+        (name, graph, seed)
+        for n in n_values
+        for name, graph in topology_suite(n, seed=seed).items()
+    ]
+    return parallel_map(_size_cell, cells, jobs=jobs)
 
 
 def test_e1_table(benchmark):

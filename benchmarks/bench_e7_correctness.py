@@ -21,39 +21,51 @@ from repro.clocks import (
 from repro.core import HappenedBeforeOracle
 from repro.topology.vertex_cover import best_cover
 
-from _common import print_header, sample_execution, topology_suite
+from _common import parallel_map, print_header, sample_execution, \
+    topology_suite
 
 
-def validate_suite(n=10, seeds=(1, 2, 3)):
+def _validate_cell(payload):
+    """One (topology, seed) sweep cell — module-level for parallel_map."""
+    name, graph, cover, seed = payload
+    nn = graph.n_vertices
+    ex = sample_execution(graph, seed=seed, steps=5 * nn)
+    oracle = HappenedBeforeOracle(ex)
+    algos = [
+        CoverInlineClock(graph, cover),
+        VectorClock(nn),
+        EncodedClock(nn),
+        ClusterClock(nn),
+        LamportClock(nn),
+        PlausibleClock(nn, max(1, len(cover))),
+    ]
     rows = []
-    for name, graph in topology_suite(n, seed=0).items():
-        nn = graph.n_vertices
-        cover = tuple(best_cover(graph))
-        for seed in seeds:
-            ex = sample_execution(graph, seed=seed, steps=5 * nn)
-            oracle = HappenedBeforeOracle(ex)
-            algos = [
-                CoverInlineClock(graph, cover),
-                VectorClock(nn),
-                EncodedClock(nn),
-                ClusterClock(nn),
-                LamportClock(nn),
-                PlausibleClock(nn, max(1, len(cover))),
-            ]
-            for asg in replay(ex, algos):
-                report = asg.validate(oracle)
-                rows.append(
-                    {
-                        "topology": name,
-                        "seed": seed,
-                        "scheme": asg.algorithm.name,
-                        "events": report.n_events,
-                        "consistent": report.is_consistent,
-                        "exact": report.characterizes,
-                        "fp_rate": round(report.false_positive_rate, 4),
-                        "max_el": asg.max_elements(),
-                    }
-                )
+    for asg in replay(ex, algos):
+        report = asg.validate(oracle)
+        rows.append(
+            {
+                "topology": name,
+                "seed": seed,
+                "scheme": asg.algorithm.name,
+                "events": report.n_events,
+                "consistent": report.is_consistent,
+                "exact": report.characterizes,
+                "fp_rate": round(report.false_positive_rate, 4),
+                "max_el": asg.max_elements(),
+            }
+        )
+    return rows
+
+
+def validate_suite(n=10, seeds=(1, 2, 3), jobs=None):
+    cells = [
+        (name, graph, tuple(best_cover(graph)), seed)
+        for name, graph in topology_suite(n, seed=0).items()
+        for seed in seeds
+    ]
+    rows = []
+    for batch in parallel_map(_validate_cell, cells, jobs=jobs):
+        rows.extend(batch)
     return rows
 
 

@@ -1,0 +1,59 @@
+"""Run the full E1–E16 benchmark suite with optional process parallelism.
+
+The drivers are pytest modules, so this is a thin launcher around
+
+    pytest benchmarks/ --benchmark-only -s
+
+that additionally exports ``REPRO_BENCH_JOBS`` so every driver's sweep —
+the topology × seed grids, the chaos scenarios — fans out over that many
+worker processes via :func:`repro.bench.parallel_map`.  Results are
+identical to a serial run; only the wall clock changes.
+
+Usage::
+
+    python benchmarks/run_all.py                 # serial, every experiment
+    python benchmarks/run_all.py --jobs 4        # 4 workers per sweep
+    python benchmarks/run_all.py -k e7 --jobs 2  # just E7
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import subprocess
+import sys
+from typing import Optional, Sequence
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per sweep (default: serial)",
+    )
+    parser.add_argument(
+        "-k", dest="keyword", default=None,
+        help="pytest -k expression to select experiments (e.g. 'e7 or e16')",
+    )
+    args = parser.parse_args(argv)
+
+    here = pathlib.Path(__file__).resolve().parent
+    env = dict(os.environ)
+    env["REPRO_BENCH_JOBS"] = str(max(1, args.jobs))
+    src = str(here.parent / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+
+    cmd = [sys.executable, "-m", "pytest", str(here), "--benchmark-only",
+           "-s", "-q"]
+    if args.keyword:
+        cmd += ["-k", args.keyword]
+    return subprocess.call(cmd, env=env, cwd=str(here.parent))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

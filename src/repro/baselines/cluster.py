@@ -21,11 +21,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.clocks.base import ClockAlgorithm, ControlMessage, Timestamp
+from repro.clocks.base import (
+    ClockAlgorithm,
+    ControlMessage,
+    Timestamp,
+    standard_vector_rows,
+)
 from repro.core.events import Event, EventId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClusterTimestamp(Timestamp):
     """Two-level timestamp.
 
@@ -45,6 +50,10 @@ class ClusterTimestamp(Timestamp):
             raise TypeError("cannot compare across schemes")
         a, b = self._exact, other._exact
         return a != b and all(x <= y for x, y in zip(a, b))
+
+    @classmethod
+    def precedes_matrix(cls, timestamps):
+        return standard_vector_rows([t._exact for t in timestamps])
 
     def elements(self) -> Tuple[int, ...]:
         if self.full_vector is not None:

@@ -32,7 +32,7 @@ def first_primes(k: int) -> List[int]:
     return primes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EncodedTimestamp(Timestamp):
     """A single integer ``∏ p_i^{v_i}``; comparison is strict divisibility."""
 

@@ -33,14 +33,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.clocks.base import ClockAlgorithm, ControlMessage, Timestamp
+from repro.clocks.base import (
+    ClockAlgorithm,
+    ControlMessage,
+    Timestamp,
+    total_order_rows,
+)
 from repro.core.events import Event, EventId
 
 #: maps a process id to its current physical-clock reading
 TimeSource = Callable[[int], float]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HLCTimestamp(Timestamp):
     """``(l, c, proc)`` — compared lexicographically (total order)."""
 
@@ -52,6 +57,10 @@ class HLCTimestamp(Timestamp):
         if not isinstance(other, HLCTimestamp):
             raise TypeError("cannot compare across schemes")
         return (self.l, self.c, self.proc) < (other.l, other.c, other.proc)
+
+    @classmethod
+    def precedes_matrix(cls, timestamps):
+        return total_order_rows([(t.l, t.c, t.proc) for t in timestamps])
 
     def elements(self) -> Tuple[float, ...]:
         return (self.l, self.c)

@@ -16,11 +16,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.clocks.base import ClockAlgorithm, ControlMessage, Timestamp
+from repro.clocks.base import (
+    ClockAlgorithm,
+    ControlMessage,
+    Timestamp,
+    standard_vector_rows,
+)
 from repro.core.events import Event, EventId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PlausibleTimestamp(Timestamp):
     """An R-entry folded vector plus the owner's coordinate for tie detail."""
 
@@ -37,6 +42,10 @@ class PlausibleTimestamp(Timestamp):
         if self.vector == other.vector:
             return False
         return all(a <= b for a, b in zip(self.vector, other.vector))
+
+    @classmethod
+    def precedes_matrix(cls, timestamps):
+        return standard_vector_rows([t.vector for t in timestamps])
 
     def elements(self) -> Tuple[int, ...]:
         return self.vector

@@ -1,0 +1,81 @@
+"""Process-parallel sweep running with deterministic seeding.
+
+Sweeps in this repo — the chaos harness, ``repro experiments``, and the
+``benchmarks/bench_e*.py`` drivers — are embarrassingly parallel grids of
+independent cells (scenario × clock, topology × size, …).  This module
+gives them one shared runner:
+
+- :func:`parallel_map` — an order-preserving map over a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Results come back in
+  input order regardless of completion order, so a ``--jobs N`` run is
+  bit-identical to the serial run of the same sweep.
+- :func:`cell_seed` — a per-cell seed derived by hashing the cell's stable
+  coordinates (sha256, not Python's randomized ``hash``), so the RNG stream
+  of a cell never depends on sweep order or worker count.
+- :func:`default_jobs` — worker count from the ``REPRO_BENCH_JOBS``
+  environment variable, defaulting to serial.  Benchmark drivers running
+  under pytest (no argv of their own) pick their parallelism up from here;
+  the CLI's ``--jobs`` flag feeds the same knob explicitly.
+
+Serial execution (``jobs=1``) never touches the executor, so callers may
+pass closures and other unpicklable work functions as long as they do not
+ask for parallelism.  With ``jobs > 1`` the work function and every item
+must be picklable — top-level functions and frozen dataclasses, not
+lambdas.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: environment knob read by :func:`default_jobs`
+JOBS_ENV = "REPRO_BENCH_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_BENCH_JOBS`` (>=1); serial when unset."""
+    raw = os.environ.get(JOBS_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def cell_seed(*coords: object) -> int:
+    """Deterministic 63-bit seed for one sweep cell.
+
+    *coords* are the cell's stable coordinates (base seed, topology name,
+    size, trial index, …), hashed with sha256 over their ``repr``.  The
+    result is independent of sweep order, worker count, and per-process
+    hash randomization, which is what makes parallel sweeps reproduce
+    serial ones exactly.
+    """
+    blob = "\x1f".join(repr(c) for c in coords).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+) -> List[R]:
+    """Order-preserving map, optionally across worker processes.
+
+    ``jobs=None`` consults :func:`default_jobs`; ``jobs<=1`` (or a sweep of
+    at most one item) runs serially in-process with no pickling
+    requirements.  Chunking is left to the executor; cells are expected to
+    be coarse (a full simulation or table row each).
+    """
+    work = list(items)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
+        return list(pool.map(fn, work))

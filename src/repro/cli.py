@@ -91,6 +91,21 @@ def build_clock(
     return table[name]()
 
 
+class NamedClockFactory:
+    """Picklable zero-argument clock constructor.
+
+    ``run_chaos(..., jobs=N)`` ships clock factories to worker processes;
+    a closure over :func:`build_clock` would not pickle, this does.
+    """
+
+    def __init__(self, name: str, graph: CommunicationGraph) -> None:
+        self.name = name
+        self.graph = graph
+
+    def __call__(self) -> ClockAlgorithm:
+        return build_clock(self.name, self.graph)
+
+
 # ----------------------------------------------------------------------
 def cmd_simulate(args: argparse.Namespace) -> int:
     graph = build_topology(args.topology, args.n, args.seed)
@@ -305,8 +320,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     graph = build_topology(args.topology, args.n, args.seed)
     factories = {
-        name: (lambda name=name: build_clock(name, graph))
-        for name in args.clocks
+        name: NamedClockFactory(name, graph) for name in args.clocks
     }
     retry = RetryPolicy(
         timeout=args.retry_timeout, max_retries=args.max_retries
@@ -319,6 +333,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         reliable=not args.unreliable,
         retry=retry,
+        jobs=args.jobs,
     )
     transport = (
         "fire-and-forget"
@@ -345,10 +360,30 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def cmd_experiments(args: argparse.Namespace) -> int:
-    """Quick headline reproduction: one table per core claim."""
+def _star_size_row(n: int):
+    """One row of the ``repro experiments`` size table (sweep-cell worker).
+
+    Module-level so ``--jobs N`` can run the sizes in parallel processes;
+    the seeded execution makes the row deterministic either way.
+    """
     from repro.clocks import replay
     from repro.core.random_executions import random_execution
+
+    graph = generators.star(n)
+    ex = random_execution(
+        graph, random.Random(1), steps=4 * n, deliver_all=True
+    )
+    inline, vector = replay(
+        ex, [CoverInlineClock(graph, (0,)), VectorClock(n)]
+    )
+    row = [n, inline.max_elements(), vector.max_elements(),
+           inline.validate().characterizes]
+    return row, inline.max_elements() == 4 and vector.max_elements() == n
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Quick headline reproduction: one table per core claim."""
+    from repro.bench import parallel_map
     from repro.lowerbounds import (
         FoldedVectorScheme,
         execution_dimension_exceeds_2,
@@ -360,17 +395,11 @@ def cmd_experiments(args: argparse.Namespace) -> int:
 
     # --- sizes (Theorem 4.2 / Section 3)
     rows = []
-    for n in (8, 16, 32):
-        graph = generators.star(n)
-        ex = random_execution(
-            graph, random.Random(1), steps=4 * n, deliver_all=True
-        )
-        inline, vector = replay(
-            ex, [CoverInlineClock(graph, (0,)), VectorClock(n)]
-        )
-        rows.append([n, inline.max_elements(), vector.max_elements(),
-                     inline.validate().characterizes])
-        ok &= inline.max_elements() == 4 and vector.max_elements() == n
+    for row, row_ok in parallel_map(
+        _star_size_row, (8, 16, 32), jobs=args.jobs
+    ):
+        rows.append(row)
+        ok &= row_ok
     print("Theorem 4.2 / Section 3 — star timestamps (constant 4 vs n):")
     print(format_table(["n", "inline elements", "vector elements", "exact"],
                        rows))
@@ -441,6 +470,8 @@ def make_parser() -> argparse.ArgumentParser:
         "experiments", help="quick headline reproduction of the core claims"
     )
     p.add_argument("--n", type=int, default=6)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep cells")
     p.set_defaults(fn=cmd_experiments)
 
     p = sub.add_parser(
@@ -462,6 +493,8 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--retry-timeout", type=float, default=4.0,
                    help="retransmission timeout for the reliable transport")
     p.add_argument("--max-retries", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the scenario sweep")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.events import Event, EventId, ProcessId
 
@@ -48,9 +48,27 @@ class Timestamp(abc.ABC):
     a strict order on the timestamps of a single execution.
     """
 
+    __slots__ = ()
+
     @abc.abstractmethod
     def precedes(self, other: "Timestamp") -> bool:
         """Whether this timestamp's event happened before *other*'s."""
+
+    @classmethod
+    def precedes_matrix(
+        cls, timestamps: Sequence["Timestamp"]
+    ) -> Optional[List[int]]:
+        """Bulk comparison: the full precedes-matrix as packed-int rows.
+
+        Returns ``rows`` with bit ``i`` of ``rows[j]`` set iff
+        ``timestamps[i].precedes(timestamps[j])`` — the orientation of the
+        oracle's causal-past masks — or ``None`` when the class has no
+        word-parallel fast path (callers then fall back to pairwise
+        :meth:`precedes` calls).  Overrides must be *exactly* equivalent to
+        the pairwise comparison; the test suite cross-checks this on random
+        executions for every scheme that provides one.
+        """
+        return None
 
     @abc.abstractmethod
     def elements(self) -> Tuple[Any, ...]:
@@ -66,7 +84,7 @@ class Timestamp(abc.ABC):
         return len(self.elements())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlMessage:
     """A metadata-only message emitted by a clock algorithm.
 
@@ -242,3 +260,116 @@ def vector_leq(a: Sequence[float], b: Sequence[float]) -> bool:
 def vector_lt(a: Sequence[float], b: Sequence[float]) -> bool:
     """The paper's *standard vector clock comparison*: ``<= and !=``."""
     return vector_leq(a, b) and tuple(a) != tuple(b)
+
+
+# ----------------------------------------------------------------------
+# bitset comparison kernel, shared by the bulk precedes-matrix builders
+# ----------------------------------------------------------------------
+def dominance_rows(
+    sources: Iterable[Tuple[Any, int]],
+    targets: Iterable[Tuple[Any, int]],
+    rows: List[int],
+    strict: bool = False,
+) -> None:
+    """OR scalar-dominance masks into *rows* (a sort + one linear sweep).
+
+    *sources* and *targets* are ``(key, index)`` pairs; after the call, bit
+    ``i`` of ``rows[j]`` is set (additionally to whatever was there) for
+    every source ``(k_i, i)`` and target ``(k_j, j)`` with ``k_i <= k_j``
+    (``k_i < k_j`` when *strict*).  Keys only need a total order; mixing
+    ints with ``INFINITY`` is fine.
+    """
+    src_tag, dst_tag = (0, 1) if not strict else (1, 0)
+    seq = sorted(
+        [(key, src_tag, i) for key, i in sources]
+        + [(key, dst_tag, j) for key, j in targets]
+    )
+    running = 0
+    for _key, tag, idx in seq:
+        if tag == src_tag:
+            running |= 1 << idx
+        else:
+            rows[idx] |= running
+
+
+def total_order_rows(keys: Sequence[Any]) -> List[int]:
+    """Precedes rows for a scheme whose comparison is ``key_i < key_j``.
+
+    Tie-safe: equal keys are mutually unordered.
+    """
+    m = len(keys)
+    rows = [0] * m
+    order = sorted(range(m), key=lambda i: keys[i])
+    running = 0
+    i = 0
+    while i < m:
+        j = i
+        while j < m and keys[order[j]] == keys[order[i]]:
+            j += 1
+        for t in order[i:j]:
+            rows[t] = running
+        for t in order[i:j]:
+            running |= 1 << t
+        i = j
+    return rows
+
+
+def standard_vector_rows(
+    vectors: Sequence[Tuple[Any, ...]],
+) -> Optional[List[int]]:
+    """Precedes rows under the standard vector comparison (``<=`` and ``!=``).
+
+    Per coordinate, a sorted sweep yields the mask of vectors dominated at
+    that coordinate; rows are the AND across coordinates minus the
+    equal-vector groups.  Returns ``None`` when the vectors do not all share
+    one length (the pairwise comparison raises in that case, so callers
+    should fall back to it).
+    """
+    m = len(vectors)
+    if m == 0:
+        return []
+    n = len(vectors[0])
+    if any(len(v) != n for v in vectors):
+        return None
+    all_mask = (1 << m) - 1
+    rows = [all_mask] * m
+    for k in range(n):
+        tmp = [0] * m
+        keyed = [(v[k], i) for i, v in enumerate(vectors)]
+        dominance_rows(keyed, keyed, tmp)
+        for j in range(m):
+            rows[j] &= tmp[j]
+    groups: Dict[Tuple[Any, ...], int] = {}
+    for i, v in enumerate(vectors):
+        groups[v] = groups.get(v, 0) | (1 << i)
+    for j, v in enumerate(vectors):
+        rows[j] &= ~groups[v]
+    return rows
+
+
+def precedes_matrix_rows(timestamps: Sequence[Timestamp]) -> List[int]:
+    """The full precedes-matrix of *timestamps* as packed-int rows.
+
+    Bit ``i`` of ``rows[j]`` is set iff ``timestamps[i]`` precedes
+    ``timestamps[j]``.  Uses the scheme's word-parallel
+    :meth:`Timestamp.precedes_matrix` when every timestamp shares one class
+    and the class provides one; otherwise falls back to pairwise
+    :meth:`Timestamp.precedes` calls.
+    """
+    if not timestamps:
+        return []
+    cls = type(timestamps[0])
+    if all(type(t) is cls for t in timestamps):
+        rows = cls.precedes_matrix(timestamps)
+        if rows is not None:
+            return rows
+    out: List[int] = []
+    for f in timestamps:
+        row = 0
+        bit = 1
+        for e in timestamps:
+            if e is not f and e.precedes(f):
+                row |= bit
+            bit <<= 1
+        out.append(row)
+    return out

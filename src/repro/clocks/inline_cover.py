@@ -42,6 +42,7 @@ from repro.clocks.base import (
     ClockAlgorithm,
     ControlMessage,
     Timestamp,
+    dominance_rows,
     vector_leq,
     vector_lt,
 )
@@ -51,7 +52,7 @@ from repro.topology.graph import CommunicationGraph
 PostValue = Union[int, float]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoverTimestamp(Timestamp):
     """A finalized vertex-cover inline timestamp.
 
@@ -88,6 +89,68 @@ class CoverTimestamp(Timestamp):
             )
         return e.mctr < f.mctr
 
+    @classmethod
+    def precedes_matrix(cls, timestamps):
+        """Word-parallel Theorem 4.1 comparison over all pairs.
+
+        Cover→any pairs need componentwise ``mpre`` dominance (an AND across
+        cover coordinates of scalar sweeps, strict for cover targets);
+        non-cover sources use the existential ``mpost[c] <= mpre[c]`` rule
+        (an OR across coordinates); same-process non-cover pairs are patched
+        with the ``mctr`` prefix order.
+        """
+        if not timestamps:
+            return []
+        cover = timestamps[0].cover
+        if any(t.cover != cover for t in timestamps):
+            return None  # pairwise raises the mixed-cover error
+        m = len(timestamps)
+        k = len(cover)
+        rows = [0] * m
+        cov_idx = [i for i, t in enumerate(timestamps) if t.in_cover]
+        non_idx = [i for i, t in enumerate(timestamps) if not t.in_cover]
+        # cover sources: componentwise mpre <= mpre, AND across coordinates
+        if cov_idx:
+            cov_mask = 0
+            for i in cov_idx:
+                cov_mask |= 1 << i
+            acc = [cov_mask] * m
+            for c in range(k):
+                tmp = [0] * m
+                src = [(timestamps[i].mpre[c], i) for i in cov_idx]
+                dst = [(t.mpre[c], j) for j, t in enumerate(timestamps)]
+                dominance_rows(src, dst, tmp)
+                for j in range(m):
+                    acc[j] &= tmp[j]
+            # strict (vector_lt) for cover targets: drop equal-mpre sources
+            eq_groups: Dict[Tuple[int, ...], int] = {}
+            for i in cov_idx:
+                key = timestamps[i].mpre
+                eq_groups[key] = eq_groups.get(key, 0) | (1 << i)
+            for j, t in enumerate(timestamps):
+                if t.in_cover:
+                    rows[j] |= acc[j] & ~eq_groups.get(t.mpre, 0)
+                else:
+                    rows[j] |= acc[j]  # vector_leq: equality allowed
+        # non-cover sources, different process: any mpost[c] <= mpre[c]
+        for c in range(k):
+            src = [(timestamps[i].mpost[c], i) for i in non_idx]
+            dst = [(t.mpre[c], j) for j, t in enumerate(timestamps)]
+            dominance_rows(src, dst, rows)
+        # same-process non-cover pairs use mctr order
+        by_proc: Dict[ProcessId, List[int]] = {}
+        for i in non_idx:
+            by_proc.setdefault(timestamps[i].id, []).append(i)
+        for idxs in by_proc.values():
+            group = 0
+            for i in idxs:
+                group |= 1 << i
+            prefix = 0
+            for i in sorted(idxs, key=lambda i: timestamps[i].mctr):
+                rows[i] = (rows[i] & ~group) | prefix
+                prefix |= 1 << i
+        return rows
+
     def elements(self) -> Tuple[PostValue, ...]:
         """Stored elements: ``2 + |VC|`` for cover events,
         ``2 + 2|VC|`` for the rest (Theorem 4.2's bound)."""
@@ -97,7 +160,7 @@ class CoverTimestamp(Timestamp):
         return base + self.mpost
 
 
-@dataclass
+@dataclass(slots=True)
 class _Record:
     mctr: int
     mpre: Tuple[int, ...]

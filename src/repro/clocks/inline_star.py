@@ -43,13 +43,14 @@ from repro.clocks.base import (
     ClockAlgorithm,
     ControlMessage,
     Timestamp,
+    dominance_rows,
 )
 from repro.core.events import Event, EventId, ProcessId
 
 PostValue = Union[int, float]  # int, or INFINITY
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StarTimestamp(Timestamp):
     """A finalized ``⟨id, ctr, pre, post⟩`` star timestamp.
 
@@ -86,6 +87,47 @@ class StarTimestamp(Timestamp):
         # radial, same process
         return e.ctr < f.ctr
 
+    @classmethod
+    def precedes_matrix(cls, timestamps):
+        """Word-parallel Theorem 3.1 comparison over all pairs.
+
+        Each of the four cases is a scalar-dominance sweep; same-process
+        radial pairs are patched afterwards with the ``ctr`` prefix order.
+        """
+        if not timestamps:
+            return []
+        center = timestamps[0].center
+        if any(t.center != center for t in timestamps):
+            return None  # pairwise raises the mixed-system error
+        m = len(timestamps)
+        rows = [0] * m
+        c_src = [(t.pre, i) for i, t in enumerate(timestamps) if t.at_center]
+        c_dst = c_src
+        r_dst = [
+            (t.pre, j) for j, t in enumerate(timestamps) if not t.at_center
+        ]
+        r_src = [
+            (t.post, i) for i, t in enumerate(timestamps) if not t.at_center
+        ]
+        all_dst = [(t.pre, j) for j, t in enumerate(timestamps)]
+        dominance_rows(c_src, c_dst, rows, strict=True)  # centre → centre
+        dominance_rows(c_src, r_dst, rows)               # centre → radial
+        dominance_rows(r_src, all_dst, rows)             # radial → other proc
+        # same-process radial pairs use ctr order, not post <= pre
+        by_proc: Dict[ProcessId, List[int]] = {}
+        for i, t in enumerate(timestamps):
+            if not t.at_center:
+                by_proc.setdefault(t.id, []).append(i)
+        for idxs in by_proc.values():
+            group = 0
+            for i in idxs:
+                group |= 1 << i
+            prefix = 0
+            for i in sorted(idxs, key=lambda i: timestamps[i].ctr):
+                rows[i] = (rows[i] & ~group) | prefix
+                prefix |= 1 << i
+        return rows
+
     def elements(self) -> Tuple[PostValue, ...]:
         """Stored elements: 4 for radial events, 2 for central ones
         (``pre = ctr`` and ``post`` undefined at the center)."""
@@ -95,7 +137,7 @@ class StarTimestamp(Timestamp):
         return (self.id, self.ctr, self.pre, self.post)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Record:
     """Mutable per-event state while the execution is in progress."""
 

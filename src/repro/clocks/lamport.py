@@ -11,11 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.clocks.base import ClockAlgorithm, ControlMessage, Timestamp
+from repro.clocks.base import (
+    ClockAlgorithm,
+    ControlMessage,
+    Timestamp,
+    total_order_rows,
+)
 from repro.core.events import Event, EventId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LamportTimestamp(Timestamp):
     """``(clock, proc)`` — the process id is used only for tie-breaking."""
 
@@ -29,6 +34,10 @@ class LamportTimestamp(Timestamp):
         # more order than happened-before provides; the scheme is marked
         # non-characterizing.
         return (self.clock, self.proc) < (other.clock, other.proc)
+
+    @classmethod
+    def precedes_matrix(cls, timestamps):
+        return total_order_rows([(t.clock, t.proc) for t in timestamps])
 
     def elements(self) -> Tuple[int, ...]:
         return (self.clock,)

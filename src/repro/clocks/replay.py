@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.clocks.base import ClockAlgorithm, Timestamp
+from repro.clocks.base import ClockAlgorithm, Timestamp, precedes_matrix_rows
 from repro.core.events import EventId
 from repro.core.execution import Execution
 from repro.core.happened_before import HappenedBeforeOracle
@@ -145,13 +145,21 @@ class TimestampAssignment:
         n_concurrent = 0
         for _ in range(n_pairs):
             a, b = rng.sample(ids, 2)
-            hb = oracle.happened_before(a, b)
-            claimed = self._ts[a].precedes(self._ts[b])
-            if hb and not claimed:
-                false_neg.append((a, b))
-            elif claimed and not hb:
-                false_pos.append((a, b))
-            if hb or oracle.happened_before(b, a):
+            # Check both directions of the sampled pair, but classify the
+            # unordered pair once, so ``n_ordered + n_concurrent == n_pairs``
+            # and every concurrent pair contributes exactly the two
+            # direction-checks the ``false_positive_rate`` denominator
+            # assumes.  (Checking one direction while counting the pair
+            # used to skew both totals.)
+            hb_ab = oracle.happened_before(a, b)
+            hb_ba = oracle.happened_before(b, a)
+            for (x, y), hb in (((a, b), hb_ab), ((b, a), hb_ba)):
+                claimed = self._ts[x].precedes(self._ts[y])
+                if hb and not claimed:
+                    false_neg.append((x, y))
+                elif claimed and not hb:
+                    false_pos.append((x, y))
+            if hb_ab or hb_ba:
                 n_ordered += 1
             else:
                 n_concurrent += 1
@@ -173,6 +181,80 @@ class TimestampAssignment:
 
         *events* restricts the check to a subset (e.g. a finalized cut);
         defaults to every event in the execution.
+
+        The comparison is matrix-based: the scheme's full precedes-matrix
+        (one packed-int row per event, built word-parallel when the scheme
+        provides :meth:`~repro.clocks.base.Timestamp.precedes_matrix`) is
+        XORed against the oracle's causal-past masks, so only mismatching
+        pairs are ever materialized.  The report is identical — field for
+        field, including mismatch ordering — to the pairwise reference
+        implementation :meth:`validate_pairwise`.
+        """
+        if oracle is None:
+            oracle = HappenedBeforeOracle(self._execution)
+        ids = (
+            list(events)
+            if events is not None
+            else [ev.eid for ev in self._execution.all_events()]
+        )
+        m = len(ids)
+        scheme_rows = precedes_matrix_rows([self._ts[eid] for eid in ids])
+        if events is None:
+            # ids follow all_events() order == the oracle's dense indexing,
+            # so its strict causal-past masks are the truth rows verbatim.
+            hb_rows = oracle.past_masks()
+        else:
+            sel = [oracle.index_of(eid) for eid in ids]
+            masks = oracle.past_masks()
+            hb_rows = []
+            for j in range(m):
+                mask_j = masks[sel[j]]
+                row = 0
+                for i in range(m):
+                    row |= (mask_j >> sel[i] & 1) << i
+                hb_rows.append(row)
+        n_ordered = sum(row.bit_count() for row in hb_rows)
+        n_concurrent = m * (m - 1) // 2 - n_ordered
+        # Mismatch (i claims-vs-truth j) sorted to the pairwise reference
+        # order: pair-major over (min, max) positions, direction min->max
+        # before max->min.
+        neg_keyed: List[Tuple[Tuple[int, int, int], Tuple[EventId, EventId]]]
+        neg_keyed = []
+        pos_keyed: List[Tuple[Tuple[int, int, int], Tuple[EventId, EventId]]]
+        pos_keyed = []
+        for j in range(m):
+            diff = scheme_rows[j] ^ hb_rows[j]
+            diff &= ~(1 << j)  # scheme rows keep a zero diagonal by contract
+            hb_row = hb_rows[j]
+            while diff:
+                low = diff & -diff
+                i = low.bit_length() - 1
+                diff ^= low
+                key = (min(i, j), max(i, j), 0 if i < j else 1)
+                if hb_row >> i & 1:
+                    neg_keyed.append((key, (ids[i], ids[j])))
+                else:
+                    pos_keyed.append((key, (ids[i], ids[j])))
+        neg_keyed.sort(key=lambda kv: kv[0])
+        pos_keyed.sort(key=lambda kv: kv[0])
+        return ValidationReport(
+            algorithm=self._algorithm.name,
+            n_events=m,
+            n_ordered_pairs=n_ordered,
+            n_concurrent_pairs=n_concurrent,
+            false_negatives=tuple(pair for _k, pair in neg_keyed),
+            false_positives=tuple(pair for _k, pair in pos_keyed),
+        )
+
+    def validate_pairwise(
+        self,
+        oracle: Optional[HappenedBeforeOracle] = None,
+        events: Optional[Sequence[EventId]] = None,
+    ) -> ValidationReport:
+        """Pairwise reference implementation of :meth:`validate`.
+
+        Quadratic in both comparisons and oracle queries; kept as the
+        ground-truth for the equivalence tests and the benchmark baseline.
         """
         if oracle is None:
             oracle = HappenedBeforeOracle(self._execution)

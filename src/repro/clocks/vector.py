@@ -16,12 +16,13 @@ from repro.clocks.base import (
     ClockAlgorithm,
     ControlMessage,
     Timestamp,
+    standard_vector_rows,
     vector_lt,
 )
 from repro.core.events import Event, EventId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VectorTimestamp(Timestamp):
     """An ``n``-element integer vector under the standard comparison."""
 
@@ -31,6 +32,10 @@ class VectorTimestamp(Timestamp):
         if not isinstance(other, VectorTimestamp):
             raise TypeError("cannot compare across schemes")
         return vector_lt(self.vector, other.vector)
+
+    @classmethod
+    def precedes_matrix(cls, timestamps):
+        return standard_vector_rows([t.vector for t in timestamps])
 
     def elements(self) -> Tuple[int, ...]:
         return self.vector

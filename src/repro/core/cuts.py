@@ -36,33 +36,25 @@ def full_cut(oracle: HappenedBeforeOracle) -> Cut:
 
 def events_in_cut(oracle: HappenedBeforeOracle, cut: Cut) -> Set[EventId]:
     """The set of event ids inside *cut*."""
-    ex = oracle.execution
-    return {
-        ev.eid
-        for p in range(ex.n_processes)
-        for ev in ex.events_at(p)[: cut[p]]
-    }
+    return set(oracle.events_from_mask(oracle.cut_mask(cut)))
 
 
 def is_consistent(oracle: HappenedBeforeOracle, cut: Cut) -> bool:
     """Whether *cut* is causally closed.
 
-    Uses the vector-clock characterization: a cut is consistent iff, for each
-    process ``i`` with a nonempty prefix, the vector clock of its frontier
-    event is dominated by the cut vector itself.
+    Uses the bitset kernel: a cut is consistent iff the causal past of each
+    frontier event is a subset of the cut's own event mask (one word-parallel
+    subset test per nonempty process prefix).
     """
     ex = oracle.execution
-    if len(cut) != ex.n_processes:
-        raise ValueError("cut length must equal the number of processes")
+    cut_mask = oracle.cut_mask(cut)  # also validates length and ranges
+    outside = ~cut_mask
     for p in range(ex.n_processes):
         k = cut[p]
-        if k < 0 or k > len(ex.events_at(p)):
-            raise ValueError(f"cut[{p}]={k} out of range for process {p}")
         if k == 0:
             continue
         frontier = ex.events_at(p)[k - 1]
-        vc = oracle.vector_clock(frontier.eid)
-        if any(vc[q] > cut[q] for q in range(ex.n_processes)):
+        if oracle.causal_past_mask(frontier.eid) & outside:
             return False
     return True
 
@@ -106,15 +98,16 @@ def max_consistent_cut_within(
                 break
         cut.append(k)
 
+    mask = oracle.cut_mask(tuple(cut))
     changed = True
     while changed:
         changed = False
         for p in range(n):
             while cut[p] > 0:
                 frontier = ex.events_at(p)[cut[p] - 1]
-                vc = oracle.vector_clock(frontier.eid)
-                if any(vc[q] > cut[q] for q in range(n)):
+                if oracle.causal_past_mask(frontier.eid) & ~mask:
                     cut[p] -= 1
+                    mask &= ~(1 << oracle.index_of(frontier.eid))
                     changed = True
                 else:
                     break

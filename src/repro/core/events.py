@@ -43,7 +43,7 @@ class EventKind(enum.Enum):
         return f"EventKind.{self.name}"
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class EventId:
     """Identity of an event: the process it occurred on and its 1-based index.
 
@@ -65,7 +65,7 @@ class EventId:
         return f"e{self.index}@p{self.proc}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """A point-to-point message.
 
@@ -107,7 +107,7 @@ class Message:
         return Message(self.msg_id, self.src, self.dst, self.send_event, recv_event)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """An event in an execution.
 

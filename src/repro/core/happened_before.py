@@ -1,24 +1,41 @@
-"""Ground-truth happened-before oracle.
+"""Ground-truth happened-before oracle, backed by a bitset kernel.
 
 The oracle derives Lamport's happened-before relation [Lamport 1978] directly
 from an :class:`~repro.core.execution.Execution`, independently of any clock
 algorithm under test.  It is the reference against which every timestamping
 scheme in the library is validated.
 
-Implementation: we compute full-length (``n``-entry) vector clocks offline by
-replaying the execution in a causally consistent total order.  With standard
-vector clocks, for distinct events ``e`` and ``f``::
+Implementation: events are assigned dense indices (process-major, the order
+of :meth:`Execution.all_events`), and one causally consistent pass over
+``delivery_order()`` computes, per event, its *strict causal past* as a
+packed Python-int bitmask::
+
+    past[f] = bits of every e with e -> f
+
+The recurrence is word-parallel — a receive's mask is the union of its local
+predecessor's mask and the matching send's mask (plus their own bits) — so
+the whole matrix costs O(|E|) big-int unions of |E|/64 words each.  On top
+of the rows:
+
+- ``happened_before(e, f)`` is a single bit test;
+- ``causal_past`` / ``causal_future`` decode one row (futures come from one
+  lazy reverse pass over the same order);
+- ``relation_counts`` is ``int.bit_count()`` over the rows;
+- consistent-cut checks reduce to mask subset tests (see
+  :mod:`repro.core.cuts`), because process-major indexing makes every cut a
+  union of per-process contiguous bit ranges.
+
+Full-length (``n``-entry) vector clocks are still computed in the same pass
+— they remain the textbook characterization (Fidge 1991, Mattern 1988) used
+by :meth:`vector_clock` consumers and by the property tests that
+cross-check the bitset kernel against the vector-clock definition::
 
     e -> f   iff   vc_e[e.proc] <= vc_f[e.proc]
-
-which gives O(1) causality queries after O(|E| * n) preprocessing.  This is
-the textbook characterization (Fidge 1991, Mattern 1988) and is used here as
-*ground truth*, not as the algorithm under study.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.events import Event, EventId
 from repro.core.execution import Execution
@@ -30,24 +47,138 @@ class HappenedBeforeOracle:
     def __init__(self, execution: Execution) -> None:
         self._execution = execution
         self._vc: Dict[EventId, Tuple[int, ...]] = {}
+        #: dense event indexing: process-major, index order within a process
+        self._order: Tuple[EventId, ...] = tuple(
+            ev.eid for ev in execution.all_events()
+        )
+        self._pos: Dict[EventId, int] = {
+            eid: i for i, eid in enumerate(self._order)
+        }
+        #: first dense index of each process's events (the per-process block)
+        self._proc_base: Tuple[int, ...] = self._compute_proc_bases()
+        #: strict causal-past bitmask per dense index
+        self._past: List[int] = [0] * len(self._order)
+        #: strict causal-future bitmask per dense index (built lazily)
+        self._future: Optional[List[int]] = None
         self._compute()
 
     @property
     def execution(self) -> Execution:
         return self._execution
 
+    def _compute_proc_bases(self) -> Tuple[int, ...]:
+        bases = []
+        offset = 0
+        for p in range(self._execution.n_processes):
+            bases.append(offset)
+            offset += len(self._execution.events_at(p))
+        return tuple(bases)
+
     def _compute(self) -> None:
-        n = self._execution.n_processes
+        ex = self._execution
+        n = ex.n_processes
+        pos = self._pos
+        past = self._past
+        vc = self._vc
         proc_clock: List[List[int]] = [[0] * n for _ in range(n)]
-        for ev in self._execution.delivery_order():
-            clock = proc_clock[ev.proc]
+        #: running mask per process: strict past of that process's *next* event
+        proc_mask = [0] * n
+        for ev in ex.delivery_order():
+            p = ev.proc
+            clock = proc_clock[p]
+            mask = proc_mask[p]
             if ev.is_receive:
-                send_vc = self._vc[self._execution.send_of(ev).eid]
+                send_eid = ex.send_of(ev).eid
+                sp = pos[send_eid]
+                mask |= past[sp] | (1 << sp)
+                send_vc = vc[send_eid]
                 for k in range(n):
                     if send_vc[k] > clock[k]:
                         clock[k] = send_vc[k]
-            clock[ev.proc] += 1
-            self._vc[ev.eid] = tuple(clock)
+            clock[p] += 1
+            i = pos[ev.eid]
+            past[i] = mask
+            proc_mask[p] = mask | (1 << i)
+            vc[ev.eid] = tuple(clock)
+
+    def _ensure_future(self) -> List[int]:
+        """Build the strict causal-future masks with one reverse pass.
+
+        In ``delivery_order()`` every event precedes its immediate causal
+        successors (the next event at its process; for sends, the matching
+        receive), so walking the order backwards sees successors first.
+        """
+        if self._future is not None:
+            return self._future
+        ex = self._execution
+        pos = self._pos
+        fut = [0] * len(self._order)
+        for ev in reversed(ex.delivery_order()):
+            mask = 0
+            at_proc = ex.events_at(ev.proc)
+            if ev.index < len(at_proc):  # next local event (1-based index)
+                j = pos[at_proc[ev.index].eid]
+                mask |= fut[j] | (1 << j)
+            if ev.is_send:
+                recv = ex.receive_of(ev)
+                if recv is not None:
+                    j = pos[recv.eid]
+                    mask |= fut[j] | (1 << j)
+            fut[pos[ev.eid]] = mask
+        self._future = fut
+        return fut
+
+    # ------------------------------------------------------------------
+    # bitset kernel surface
+    # ------------------------------------------------------------------
+    @property
+    def event_order(self) -> Tuple[EventId, ...]:
+        """The dense indexing used by the masks (process-major)."""
+        return self._order
+
+    def index_of(self, eid: EventId) -> int:
+        """Dense index of *eid* in :attr:`event_order`."""
+        return self._pos[eid]
+
+    def causal_past_mask(self, f: EventId) -> int:
+        """Bitmask of ``{e : e -> f}`` over :attr:`event_order` indices."""
+        return self._past[self._pos[f]]
+
+    def causal_future_mask(self, e: EventId) -> int:
+        """Bitmask of ``{f : e -> f}`` over :attr:`event_order` indices."""
+        return self._ensure_future()[self._pos[e]]
+
+    def past_masks(self) -> Tuple[int, ...]:
+        """All strict causal-past rows: bit ``i`` of row ``j`` is set iff
+        ``event_order[i] -> event_order[j]``."""
+        return tuple(self._past)
+
+    def events_from_mask(self, mask: int) -> List[EventId]:
+        """Decode a bitmask into the events it denotes, in dense order."""
+        order = self._order
+        out: List[EventId] = []
+        while mask:
+            lsb = mask & -mask
+            out.append(order[lsb.bit_length() - 1])
+            mask ^= lsb
+        return out
+
+    def cut_mask(self, cut: Tuple[int, ...]) -> int:
+        """Bitmask of the events inside a cut (per-process prefix lengths).
+
+        Process-major indexing makes each process's events one contiguous
+        bit range, so a cut is a union of low-bit runs shifted into place.
+        """
+        ex = self._execution
+        if len(cut) != ex.n_processes:
+            raise ValueError("cut length must equal the number of processes")
+        mask = 0
+        for p, k in enumerate(cut):
+            if k < 0 or k > len(ex.events_at(p)):
+                raise ValueError(f"cut[{p}]={k} out of range for process {p}")
+            if k:
+                mask |= ((1 << k) - 1) << self._proc_base[p]
+        return mask
 
     # ------------------------------------------------------------------
     def vector_clock(self, eid: EventId) -> Tuple[int, ...]:
@@ -56,9 +187,7 @@ class HappenedBeforeOracle:
 
     def happened_before(self, e: EventId, f: EventId) -> bool:
         """Whether ``e -> f`` (strict: ``e != f`` and e causally precedes f)."""
-        if e == f:
-            return False
-        return self._vc[e][e.proc] <= self._vc[f][e.proc]
+        return bool(self._past[self._pos[f]] >> self._pos[e] & 1)
 
     def leq(self, e: EventId, f: EventId) -> bool:
         """Whether ``e == f`` or ``e -> f``."""
@@ -66,33 +195,25 @@ class HappenedBeforeOracle:
 
     def concurrent(self, e: EventId, f: EventId) -> bool:
         """Whether *e* and *f* are distinct and causally unordered."""
+        pe, pf = self._pos[e], self._pos[f]
         return (
-            e != f
-            and not self.happened_before(e, f)
-            and not self.happened_before(f, e)
+            pe != pf
+            and not self._past[pf] >> pe & 1
+            and not self._past[pe] >> pf & 1
         )
 
     # ------------------------------------------------------------------
     def causal_past(self, f: EventId) -> Set[EventId]:
         """All events ``e`` with ``e -> f`` (excluding *f* itself)."""
-        vc = self._vc[f]
-        return {
-            ev.eid
-            for ev in self._execution.all_events()
-            if ev.eid != f and ev.index <= vc[ev.proc]
-        }
+        return set(self.events_from_mask(self._past[self._pos[f]]))
 
     def causal_future(self, e: EventId) -> Set[EventId]:
         """All events ``f`` with ``e -> f``."""
-        return {
-            ev.eid
-            for ev in self._execution.all_events()
-            if self.happened_before(e, ev.eid)
-        }
+        return set(self.events_from_mask(self.causal_future_mask(e)))
 
     def pairs(self) -> Iterator[Tuple[EventId, EventId]]:
         """All ordered pairs of distinct events (for exhaustive checks)."""
-        ids = [ev.eid for ev in self._execution.all_events()]
+        ids = self._order
         for e in ids:
             for f in ids:
                 if e != f:
@@ -103,17 +224,13 @@ class HappenedBeforeOracle:
 
         ``ordered_pairs`` counts ordered pairs ``(e, f)`` with ``e -> f``;
         ``concurrent_unordered_pairs`` counts unordered concurrent pairs.
+        Happened-before is antisymmetric, so the former is just the popcount
+        of the causal-past matrix, and the latter is the complement among
+        all unordered pairs.
         """
-        ordered = 0
-        concurrent = 0
-        ids = [ev.eid for ev in self._execution.all_events()]
-        for i, e in enumerate(ids):
-            for f in ids[i + 1 :]:
-                if self.happened_before(e, f) or self.happened_before(f, e):
-                    ordered += 1
-                else:
-                    concurrent += 1
-        return ordered, concurrent
+        ordered = sum(mask.bit_count() for mask in self._past)
+        m = len(self._order)
+        return ordered, m * (m - 1) // 2 - ordered
 
 
 def downward_closure(
@@ -122,10 +239,10 @@ def downward_closure(
     """The smallest causally-closed set containing *events*.
 
     A set ``S`` is causally closed (a *consistent cut*, as a set of events)
-    when ``f in S`` and ``e -> f`` imply ``e in S``.
+    when ``f in S`` and ``e -> f`` imply ``e in S``.  Computed as one mask
+    union per seed event.
     """
-    out: Set[EventId] = set()
+    mask = 0
     for f in events:
-        out.add(f)
-        out |= oracle.causal_past(f)
-    return out
+        mask |= oracle.causal_past_mask(f) | (1 << oracle.index_of(f))
+    return set(oracle.events_from_mask(mask))

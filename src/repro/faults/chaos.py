@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.bench import parallel_map
 from repro.clocks.base import ClockAlgorithm
 from repro.core import HappenedBeforeOracle
 from repro.faults.models import (
@@ -209,6 +210,83 @@ def _checkpoint_permanence_ok(
     return True
 
 
+@dataclass(frozen=True)
+class _UniformWorkloadFactory:
+    """Picklable default workload constructor (a lambda would not pickle
+    across :class:`~concurrent.futures.ProcessPoolExecutor` workers)."""
+
+    events_per_process: int
+    p_local: float = 0.2
+
+    def __call__(self) -> Workload:
+        return UniformWorkload(
+            events_per_process=self.events_per_process, p_local=self.p_local
+        )
+
+
+def _scenario_cells(payload) -> List[ChaosCell]:
+    """Run one scenario across every usable clock — one sweep-cell batch.
+
+    A module-level function so :func:`run_chaos` can fan scenarios out to
+    worker processes; *payload* carries everything the cell needs and must
+    be picklable when ``jobs > 1``.
+    """
+    from repro.sim.runner import Simulation  # deferred: avoids import cycle
+
+    (graph, scenario, factories, seed, reliable, retry, workload_factory) = (
+        payload
+    )
+    clocks = {name: factory() for name, factory in factories.items()}
+    sim = Simulation(
+        graph,
+        seed=seed,
+        clocks=clocks,
+        app_loss_rate=scenario.app_loss,
+        control_loss_rate=scenario.control_loss,
+        fault_model=scenario.fault,
+        control_retry=retry if reliable else None,
+    )
+    result = sim.run(workload_factory())
+    oracle = HappenedBeforeOracle(result.execution)
+    cells: List[ChaosCell] = []
+    for name, algo in clocks.items():
+        assignment = result.assignments[name]
+        validation = assignment.validate(oracle)
+        causality_ok = (
+            validation.characterizes
+            if algo.characterizes_causality
+            else validation.is_consistent
+        )
+        checkpoint_ok = _checkpoint_permanence_ok(
+            result, name, factories[name]
+        )
+        latencies = result.finalization_latencies(name)
+        mean_latency = (
+            sum(latencies.values()) / len(latencies) if latencies else 0.0
+        )
+        stats = result.stats[name]
+        cells.append(
+            ChaosCell(
+                scenario=scenario.name,
+                clock=name,
+                causality_ok=causality_ok,
+                checkpoint_ok=checkpoint_ok,
+                finalized_fraction=result.fraction_finalized_during_run(
+                    name
+                ),
+                mean_latency=mean_latency,
+                retransmissions=stats.control_retransmissions,
+                duplicates_suppressed=stats.control_duplicates_suppressed,
+                abandoned=stats.control_abandoned,
+                dropped_app=result.dropped_app_messages
+                + result.crash_dropped_app_messages,
+                dropped_control=result.dropped_control_messages,
+                suppressed_events=result.suppressed_events,
+            )
+        )
+    return cells
+
+
 def run_chaos(
     graph: CommunicationGraph,
     clock_factories: Mapping[str, ClockFactory],
@@ -218,6 +296,7 @@ def run_chaos(
     reliable: bool = True,
     retry: Optional[RetryPolicy] = None,
     workload_factory: Optional[Callable[[], Workload]] = None,
+    jobs: int = 1,
 ) -> ChaosReport:
     """Run every scenario × algorithm cell and validate the invariants.
 
@@ -226,16 +305,20 @@ def run_chaos(
     are single-use.  ``reliable`` enables the retransmitting control
     transport (*retry* overrides its parameters).  FIFO-requiring clocks
     are recorded in ``ChaosReport.skipped`` instead of run.
-    """
-    from repro.sim.runner import Simulation  # deferred: avoids import cycle
 
+    ``jobs > 1`` fans the scenarios out over worker processes via
+    :func:`repro.bench.parallel_map`.  Each scenario already runs from its
+    own seeded :class:`Simulation`, so the report is identical to the
+    serial sweep, cell for cell; factories and the workload factory must
+    then be picklable (the defaults are).
+    """
     if scenarios is None:
         scenarios = default_scenarios(graph.n_vertices)
     if retry is None:
         retry = RetryPolicy()
     if workload_factory is None:
-        workload_factory = lambda: UniformWorkload(  # noqa: E731
-            events_per_process=events_per_process, p_local=0.2
+        workload_factory = _UniformWorkloadFactory(
+            events_per_process=events_per_process
         )
 
     report = ChaosReport()
@@ -246,52 +329,10 @@ def run_chaos(
         else:
             usable[name] = factory
 
-    for scenario in scenarios:
-        clocks = {name: factory() for name, factory in usable.items()}
-        sim = Simulation(
-            graph,
-            seed=seed,
-            clocks=clocks,
-            app_loss_rate=scenario.app_loss,
-            control_loss_rate=scenario.control_loss,
-            fault_model=scenario.fault,
-            control_retry=retry if reliable else None,
-        )
-        result = sim.run(workload_factory())
-        oracle = HappenedBeforeOracle(result.execution)
-        for name, algo in clocks.items():
-            assignment = result.assignments[name]
-            validation = assignment.validate(oracle)
-            causality_ok = (
-                validation.characterizes
-                if algo.characterizes_causality
-                else validation.is_consistent
-            )
-            checkpoint_ok = _checkpoint_permanence_ok(
-                result, name, usable[name]
-            )
-            latencies = result.finalization_latencies(name)
-            mean_latency = (
-                sum(latencies.values()) / len(latencies) if latencies else 0.0
-            )
-            stats = result.stats[name]
-            report.cells.append(
-                ChaosCell(
-                    scenario=scenario.name,
-                    clock=name,
-                    causality_ok=causality_ok,
-                    checkpoint_ok=checkpoint_ok,
-                    finalized_fraction=result.fraction_finalized_during_run(
-                        name
-                    ),
-                    mean_latency=mean_latency,
-                    retransmissions=stats.control_retransmissions,
-                    duplicates_suppressed=stats.control_duplicates_suppressed,
-                    abandoned=stats.control_abandoned,
-                    dropped_app=result.dropped_app_messages
-                    + result.crash_dropped_app_messages,
-                    dropped_control=result.dropped_control_messages,
-                    suppressed_events=result.suppressed_events,
-                )
-            )
+    payloads = [
+        (graph, scenario, usable, seed, reliable, retry, workload_factory)
+        for scenario in scenarios
+    ]
+    for cells in parallel_map(_scenario_cells, payloads, jobs=jobs):
+        report.cells.extend(cells)
     return report

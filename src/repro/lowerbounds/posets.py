@@ -67,17 +67,40 @@ class Poset:
                     )
 
     @classmethod
+    def _trusted(
+        cls,
+        elements: Sequence[Element],
+        less_than: Set[Tuple[Element, Element]],
+    ) -> "Poset":
+        """Construct without the ``O(|lt|·m)`` strict-order validation.
+
+        Only for callers whose relation is a strict order *by construction*
+        (e.g. the oracle's transitively-closed causal-past masks).
+        """
+        poset = cls.__new__(cls)
+        poset._elements = tuple(elements)
+        poset._lt = set(less_than)
+        return poset
+
+    @classmethod
     def from_execution(cls, execution: Execution) -> "Poset":
-        """The happened-before poset of an execution's events."""
+        """The happened-before poset of an execution's events.
+
+        Reads the relation straight off the oracle's causal-past bitmasks —
+        one mask decode per event instead of ``m²`` oracle queries — and
+        skips re-validating it: happened-before is a strict order by
+        construction.
+        """
         oracle = HappenedBeforeOracle(execution)
-        ids = [ev.eid for ev in execution.all_events()]
-        lt = {
-            (e, f)
-            for e in ids
-            for f in ids
-            if e != f and oracle.happened_before(e, f)
-        }
-        return cls(ids, lt)
+        order = oracle.event_order
+        lt: Set[Tuple[Element, Element]] = set()
+        for j, mask in enumerate(oracle.past_masks()):
+            f = order[j]
+            while mask:
+                low = mask & -mask
+                lt.add((order[low.bit_length() - 1], f))
+                mask ^= low
+        return cls._trusted(order, lt)
 
     # ------------------------------------------------------------------
     @property

@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.clocks.base import vector_lt
+from repro.clocks.base import standard_vector_rows
 from repro.core.events import EventId
 from repro.core.execution import Execution
 from repro.core.happened_before import HappenedBeforeOracle
@@ -90,38 +90,64 @@ def check_vector_assignment(
         raise ValueError(f"inconsistent vector lengths: {sorted(lengths)}")
     length = lengths.pop() if lengths else 0
 
-    violations: List[Violation] = []
-    for i, e in enumerate(ids):
-        for f in ids[i + 1 :]:
-            ve, vf = vectors[e], vectors[f]
-            if tuple(ve) == tuple(vf):
-                violations.append(
-                    Violation(ViolationKind.DUPLICATE, e, f, tuple(ve), tuple(vf))
+    # Matrix comparison: the assignment's full precedes-matrix against the
+    # oracle's causal-past masks; only mismatching pairs materialize.
+    # ``ids`` follow all_events() order == the oracle's dense indexing.
+    m = len(ids)
+    vecs = [tuple(vectors[e]) for e in ids]
+    claimed_rows = standard_vector_rows(vecs)
+    assert claimed_rows is not None  # lengths validated above
+    hb_rows = oracle.past_masks()
+
+    # Duplicate vectors: every pair inside an equal-vector group.  The
+    # pairwise reference skips the directional checks for such pairs, so
+    # their bits are masked out of the mismatch scan below.
+    groups: Dict[Tuple[float, ...], List[int]] = {}
+    for i, v in enumerate(vecs):
+        groups.setdefault(v, []).append(i)
+    group_mask: Dict[Tuple[float, ...], int] = {}
+    for v, idxs in groups.items():
+        mask = 0
+        for i in idxs:
+            mask |= 1 << i
+        group_mask[v] = mask
+
+    # Violations keyed to the pairwise reference order: pair-major over
+    # (min, max) positions; a duplicate replaces the pair's direction
+    # checks, direction min->max comes before max->min otherwise.
+    keyed: List[Tuple[Tuple[int, int, int], Violation]] = []
+    for v, idxs in groups.items():
+        for a_pos, i in enumerate(idxs):
+            for j in idxs[a_pos + 1 :]:
+                keyed.append(
+                    (
+                        (i, j, -1),
+                        Violation(
+                            ViolationKind.DUPLICATE, ids[i], ids[j], v, v
+                        ),
+                    )
                 )
-                if stop_at_first:
-                    return VectorAssignmentReport(
-                        len(ids), length, tuple(violations)
-                    )
-                continue
-            for a, b, va, vb in ((e, f, ve, vf), (f, e, vf, ve)):
-                hb = oracle.happened_before(a, b)
-                claimed = vector_lt(va, vb)
-                if hb and not claimed:
-                    violations.append(
-                        Violation(
-                            ViolationKind.FALSE_NEGATIVE, a, b,
-                            tuple(va), tuple(vb),
-                        )
-                    )
-                elif claimed and not hb:
-                    violations.append(
-                        Violation(
-                            ViolationKind.FALSE_POSITIVE, a, b,
-                            tuple(va), tuple(vb),
-                        )
-                    )
-                if stop_at_first and violations:
-                    return VectorAssignmentReport(
-                        len(ids), length, tuple(violations)
-                    )
+    for j in range(m):
+        dup = group_mask[vecs[j]] & ~(1 << j)
+        diff = (claimed_rows[j] ^ hb_rows[j]) & ~(1 << j) & ~dup
+        hb_row = hb_rows[j]
+        while diff:
+            low = diff & -diff
+            i = low.bit_length() - 1
+            diff ^= low
+            kind = (
+                ViolationKind.FALSE_NEGATIVE
+                if hb_row >> i & 1
+                else ViolationKind.FALSE_POSITIVE
+            )
+            keyed.append(
+                (
+                    (min(i, j), max(i, j), 0 if i < j else 1),
+                    Violation(kind, ids[i], ids[j], vecs[i], vecs[j]),
+                )
+            )
+    keyed.sort(key=lambda kv: kv[0])
+    violations = [v for _k, v in keyed]
+    if stop_at_first and violations:
+        violations = violations[:1]
     return VectorAssignmentReport(len(ids), length, tuple(violations))

@@ -133,33 +133,43 @@ def _max_vertex_disjoint_paths(
             raise RuntimeError("flow exceeded vertex count")
 
 
+#: memo keyed by the (immutable, hashable) graph — the lower-bound drivers
+#: re-validate connectivity for the same graphs on every sweep cell
+_connectivity_memo: Dict[CommunicationGraph, int] = {}
+
+
 def vertex_connectivity(graph: CommunicationGraph) -> int:
-    """Exact vertex connectivity.
+    """Exact vertex connectivity (memoized per graph).
 
     0 for disconnected graphs, ``n-1`` for complete graphs; otherwise the
     minimum over Menger computations.  Uses the classic optimization: fix a
     minimum-degree vertex ``s`` and compute against all non-neighbors, plus
     pairs of neighbors of ``s``.
     """
+    hit = _connectivity_memo.get(graph)
+    if hit is not None:
+        return hit
     n = graph.n_vertices
     if n <= 1:
-        return 0
-    if not graph.is_connected():
-        return 0
-    if graph.n_edges == n * (n - 1) // 2:
-        return n - 1
-    s = min(range(n), key=graph.degree)
-    best = graph.degree(s)
-    non_neighbors = [
-        t for t in range(n) if t != s and not graph.has_edge(s, t)
-    ]
-    for t in non_neighbors:
-        best = min(best, _max_vertex_disjoint_paths(graph, s, t))
-    neigh = sorted(graph.neighbors(s))
-    for i, u in enumerate(neigh):
-        for v in neigh[i + 1 :]:
-            if not graph.has_edge(u, v):
-                best = min(best, _max_vertex_disjoint_paths(graph, u, v))
+        best = 0
+    elif not graph.is_connected():
+        best = 0
+    elif graph.n_edges == n * (n - 1) // 2:
+        best = n - 1
+    else:
+        s = min(range(n), key=graph.degree)
+        best = graph.degree(s)
+        non_neighbors = [
+            t for t in range(n) if t != s and not graph.has_edge(s, t)
+        ]
+        for t in non_neighbors:
+            best = min(best, _max_vertex_disjoint_paths(graph, s, t))
+        neigh = sorted(graph.neighbors(s))
+        for i, u in enumerate(neigh):
+            for v in neigh[i + 1 :]:
+                if not graph.has_edge(u, v):
+                    best = min(best, _max_vertex_disjoint_paths(graph, u, v))
+    _connectivity_memo[graph] = best
     return best
 
 

@@ -20,9 +20,14 @@ vertex cover (each function validates its own output).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.topology.graph import CommunicationGraph
+
+#: memo for :func:`best_cover` — sweeps construct ``CoverInlineClock(graph)``
+#: for the same handful of (immutable, hashable) graphs over and over, and
+#: the exact branch-and-bound is by far the most expensive part of that.
+_best_cover_memo: Dict[Tuple[CommunicationGraph, int], Tuple[int, ...]] = {}
 
 
 def _check(graph: CommunicationGraph, cover: Sequence[int]) -> List[int]:
@@ -155,13 +160,25 @@ def exact_minimum_cover(
 
 
 def best_cover(graph: CommunicationGraph, node_budget: int = 200_000) -> List[int]:
-    """Smallest cover obtainable: exact if affordable, else best heuristic."""
-    candidates = [matching_cover(graph), greedy_degree_cover(graph)]
-    try:
-        candidates.append(exact_minimum_cover(graph, node_budget=node_budget))
-    except RuntimeError:
-        pass
-    return min(candidates, key=len)
+    """Smallest cover obtainable: exact if affordable, else best heuristic.
+
+    Results are memoized per ``(graph, node_budget)`` — graphs are immutable
+    and hashable, and the computation is deterministic.  Each call returns a
+    fresh list, so callers may mutate their copy freely.
+    """
+    key = (graph, node_budget)
+    hit = _best_cover_memo.get(key)
+    if hit is None:
+        candidates = [matching_cover(graph), greedy_degree_cover(graph)]
+        try:
+            candidates.append(
+                exact_minimum_cover(graph, node_budget=node_budget)
+            )
+        except RuntimeError:
+            pass
+        hit = tuple(min(candidates, key=len))
+        _best_cover_memo[key] = hit
+    return list(hit)
 
 
 def is_minimal_cover(graph: CommunicationGraph, cover: Sequence[int]) -> bool:

@@ -1,0 +1,133 @@
+"""The bitset causality kernel against the vector-clock characterization.
+
+The oracle's packed-int causal-past rows must reproduce, bit for bit, the
+textbook definition ``e -> f iff vc_e[e.proc] <= vc_f[e.proc]`` (Fidge,
+Mattern) that the oracle's own full-length vector clocks encode.  Hypothesis
+drives topology family, size, seed and workload length across the benchmark
+topology suite.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HappenedBeforeOracle
+from repro.core.happened_before import downward_closure
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+FAMILIES = [
+    "star", "double_star", "cycle", "path", "tree", "bipartite", "random",
+    "clique",
+]
+
+
+def build_graph(family: str, n: int, seed: int):
+    rng = random.Random(seed)
+    n = max(2, n)
+    if family == "star":
+        return generators.star(n)
+    if family == "double_star":
+        return generators.double_star(max(1, n // 2), max(1, n // 2))
+    if family == "cycle":
+        return generators.cycle(max(3, n))
+    if family == "path":
+        return generators.path(n)
+    if family == "tree":
+        return generators.random_tree(n, rng)
+    if family == "bipartite":
+        return generators.complete_bipartite(max(1, n // 3), n - n // 3)
+    if family == "random":
+        return generators.erdos_renyi(n, 0.3, rng)
+    if family == "clique":
+        return generators.clique(min(n, 6))
+    raise AssertionError(family)
+
+
+def vc_happened_before(oracle, e, f):
+    """The Fidge/Mattern characterization, straight from the definition."""
+    if e == f:
+        return False
+    return oracle.vector_clock(e)[e.proc] <= oracle.vector_clock(f)[e.proc]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    family=st.sampled_from(FAMILIES),
+    n=st.integers(2, 8),
+    seed=st.integers(0, 100_000),
+    steps=st.integers(0, 60),
+)
+def test_bitset_oracle_matches_vector_clock_oracle(family, n, seed, steps):
+    graph = build_graph(family, n, seed)
+    ex = random_execution(graph, random.Random(seed ^ 0x5EED), steps=steps)
+    oracle = HappenedBeforeOracle(ex)
+    ids = [ev.eid for ev in ex.all_events()]
+
+    n_ordered = 0
+    for e in ids:
+        for f in ids:
+            if e == f:
+                continue
+            expected = vc_happened_before(oracle, e, f)
+            assert oracle.happened_before(e, f) == expected, (e, f)
+            assert oracle.concurrent(e, f) == (
+                not expected and not vc_happened_before(oracle, f, e)
+            )
+            n_ordered += expected
+
+    for f in ids:
+        expected_past = {
+            e for e in ids if e != f and vc_happened_before(oracle, e, f)
+        }
+        assert oracle.causal_past(f) == expected_past
+    for e in ids:
+        expected_future = {
+            f for f in ids if f != e and vc_happened_before(oracle, e, f)
+        }
+        assert oracle.causal_future(e) == expected_future
+
+    m = len(ids)
+    assert oracle.relation_counts() == (
+        n_ordered,
+        m * (m - 1) // 2 - n_ordered,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    family=st.sampled_from(FAMILIES),
+    n=st.integers(2, 7),
+    seed=st.integers(0, 100_000),
+)
+def test_downward_closure_is_causally_closed(family, n, seed):
+    graph = build_graph(family, n, seed)
+    ex = random_execution(graph, random.Random(seed), steps=40)
+    oracle = HappenedBeforeOracle(ex)
+    ids = [ev.eid for ev in ex.all_events()]
+    if not ids:
+        return
+    rng = random.Random(seed + 1)
+    seeds = rng.sample(ids, min(3, len(ids)))
+    closure = downward_closure(oracle, seeds)
+    assert set(seeds) <= closure
+    for f in closure:
+        assert oracle.causal_past(f) <= closure
+    # minimality: every member is a seed or in some seed's past
+    for g in closure:
+        assert g in seeds or any(
+            oracle.happened_before(g, s) for s in seeds
+        )
+
+
+def test_event_order_matches_all_events_and_masks_are_strict():
+    graph = generators.star(5)
+    ex = random_execution(graph, random.Random(3), steps=50,
+                          deliver_all=True)
+    oracle = HappenedBeforeOracle(ex)
+    assert list(oracle.event_order) == [ev.eid for ev in ex.all_events()]
+    for j, eid in enumerate(oracle.event_order):
+        assert oracle.index_of(eid) == j
+        # strictness: no self-bit in any row
+        assert not oracle.causal_past_mask(eid) >> j & 1
+        assert not oracle.causal_future_mask(eid) >> j & 1

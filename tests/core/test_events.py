@@ -93,3 +93,36 @@ class TestMessage:
     def test_recv_event_must_be_at_destination(self):
         with pytest.raises(ValueError):
             Message(0, 1, 2, EventId(1, 1), recv_event=EventId(1, 2))
+
+
+class TestSlots:
+    """Hot-path value objects carry no per-instance __dict__."""
+
+    def test_event_records_use_slots(self):
+        from repro.core.events import Event, EventId, EventKind, Message
+
+        eid = EventId(proc=0, index=1)
+        assert not hasattr(eid, "__dict__")
+        ev = Event(eid=eid, kind=EventKind.LOCAL)
+        assert not hasattr(ev, "__dict__")
+
+    def test_timestamps_use_slots(self):
+        from repro.baselines.cluster import ClusterTimestamp
+        from repro.baselines.hlc import HLCTimestamp
+        from repro.baselines.plausible import PlausibleTimestamp
+        from repro.clocks.inline_cover import CoverTimestamp
+        from repro.clocks.inline_star import StarTimestamp
+        from repro.clocks.lamport import LamportTimestamp
+        from repro.clocks.vector import VectorTimestamp
+
+        samples = [
+            VectorTimestamp((1, 0)),
+            LamportTimestamp(3, 0),
+            StarTimestamp(id=1, ctr=1, pre=0, post=2, center=0),
+            CoverTimestamp(id=1, mctr=1, mpre=(0,), mpost=(2,), cover=(0,)),
+            HLCTimestamp(1.0, 0, 0),
+            PlausibleTimestamp((1,), 0),
+            ClusterTimestamp(0, (1,), None, (1, 0)),
+        ]
+        for ts in samples:
+            assert not hasattr(ts, "__dict__"), type(ts).__name__

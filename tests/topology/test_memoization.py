@@ -1,0 +1,55 @@
+"""Per-graph memoization of cover and connectivity computations."""
+
+import random
+
+from repro.topology import generators, vertex_connectivity
+from repro.topology import properties as properties_mod
+from repro.topology import vertex_cover as vertex_cover_mod
+from repro.topology.vertex_cover import best_cover
+
+
+def test_best_cover_returns_fresh_lists():
+    g = generators.star(6)
+    first = best_cover(g)
+    first.append(999)
+    second = best_cover(g)
+    assert 999 not in second
+    assert second == [0]
+
+
+def test_best_cover_memoizes_per_graph_and_budget(monkeypatch):
+    g = generators.double_star(3, 4)
+    expected = best_cover(g)  # populate the memo
+
+    def boom(*_a, **_kw):
+        raise AssertionError("cover recomputed despite memo")
+
+    monkeypatch.setattr(vertex_cover_mod, "matching_cover", boom)
+    monkeypatch.setattr(vertex_cover_mod, "greedy_degree_cover", boom)
+    monkeypatch.setattr(vertex_cover_mod, "exact_minimum_cover", boom)
+    assert best_cover(g) == expected
+    # an equal-but-distinct graph object hits the same memo entry
+    assert best_cover(generators.double_star(3, 4)) == expected
+
+
+def test_best_cover_distinct_budgets_are_distinct_entries():
+    g = generators.erdos_renyi(8, 0.4, random.Random(0))
+    assert best_cover(g, node_budget=10) == best_cover(g, node_budget=10)
+    # both budgets produce valid covers (possibly different sizes)
+    for budget in (10, 200_000):
+        assert g.is_vertex_cover(best_cover(g, node_budget=budget))
+
+
+def test_vertex_connectivity_memoizes(monkeypatch):
+    g = generators.cycle(7)
+    expected = vertex_connectivity(g)
+    assert expected == 2
+
+    def boom(*_a, **_kw):
+        raise AssertionError("connectivity recomputed despite memo")
+
+    monkeypatch.setattr(
+        properties_mod, "_max_vertex_disjoint_paths", boom
+    )
+    assert properties_mod.vertex_connectivity(g) == expected
+    assert properties_mod.vertex_connectivity(generators.cycle(7)) == expected

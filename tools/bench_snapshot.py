@@ -1,0 +1,239 @@
+"""Perf-trajectory snapshot: time the causality kernel and write JSON.
+
+Measures, with fixed seeds so runs are comparable:
+
+- **kernel** — bitset-oracle construction plus ``happened_before`` /
+  ``relation_counts`` query throughput on a seeded star execution.  This
+  section is *identical* in ``--quick`` and full runs, so a quick CI run
+  can be checked against the committed full-run baseline.
+- **validate** — exhaustive matrix-based :meth:`TimestampAssignment.validate`
+  against the pairwise reference on a 2,000-event star (400 events with
+  ``--quick``), per scheme, with the speedup factor.
+- **sim** — one end-to-end seeded :class:`~repro.sim.runner.Simulation`
+  (skipped with ``--quick``).
+- **allocation** — tracemalloc peak while generating an execution and
+  replaying a vector clock over it (the ``__slots__`` footprint).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_snapshot.py                # full run
+    PYTHONPATH=src python tools/bench_snapshot.py --quick \\
+        --check BENCH_PR2.json --max-regression 3                # CI smoke
+
+The default output path is ``BENCH_PR2.json`` in the repo root; ``--check``
+compares the kernel section against a baseline file and exits non-zero on
+a regression beyond ``--max-regression``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+import time
+import tracemalloc
+from typing import Callable, Dict, Optional, Sequence
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.clocks import StarInlineClock, VectorClock, replay  # noqa: E402
+from repro.core import HappenedBeforeOracle  # noqa: E402
+from repro.core.random_executions import random_execution  # noqa: E402
+from repro.topology import generators  # noqa: E402
+
+#: kernel-section workload — MUST stay identical across quick/full modes so
+#: any run is comparable with any committed baseline
+KERNEL_N = 32
+KERNEL_STEPS = 1_500
+KERNEL_QUERY_PAIRS = 50_000
+KERNEL_SEED = 7
+
+
+def _best_of(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Minimum wall-clock seconds over *repeats* calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_kernel() -> Dict[str, float]:
+    graph = generators.star(KERNEL_N)
+    ex = random_execution(
+        graph, random.Random(KERNEL_SEED), steps=KERNEL_STEPS,
+        deliver_all=True,
+    )
+    build_s = _best_of(lambda: HappenedBeforeOracle(ex).relation_counts())
+
+    oracle = HappenedBeforeOracle(ex)
+    ids = oracle.event_order
+    rng = random.Random(KERNEL_SEED + 1)
+    pairs = [
+        (ids[rng.randrange(len(ids))], ids[rng.randrange(len(ids))])
+        for _ in range(KERNEL_QUERY_PAIRS)
+    ]
+
+    def queries() -> int:
+        hb = oracle.happened_before
+        return sum(1 for e, f in pairs if hb(e, f))
+
+    query_s = _best_of(queries)
+    counts_s = _best_of(oracle.relation_counts)
+    return {
+        "events": ex.n_events,
+        "oracle_build_s": round(build_s, 6),
+        "hb_queries": KERNEL_QUERY_PAIRS,
+        "hb_queries_s": round(query_s, 6),
+        "relation_counts_s": round(counts_s, 6),
+    }
+
+
+def bench_validate(quick: bool) -> Dict[str, object]:
+    steps = 400 if quick else 2_000
+    n = 16
+    graph = generators.star(n)
+    ex = random_execution(
+        graph, random.Random(11), steps=steps, deliver_all=True
+    )
+    oracle = HappenedBeforeOracle(ex)
+    assignments = replay(ex, [StarInlineClock(n), VectorClock(n)])
+    out: Dict[str, object] = {"n_events": ex.n_events, "schemes": {}}
+    speedups = []
+    for asg in assignments:
+        t0 = time.perf_counter()
+        fast = asg.validate(oracle)
+        matrix_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        slow = asg.validate_pairwise(oracle)
+        pairwise_s = time.perf_counter() - t0
+        assert fast == slow, f"validate mismatch for {asg.algorithm.name}"
+        speedup = pairwise_s / matrix_s if matrix_s > 0 else float("inf")
+        speedups.append(speedup)
+        out["schemes"][asg.algorithm.name] = {
+            "matrix_s": round(matrix_s, 6),
+            "pairwise_s": round(pairwise_s, 6),
+            "speedup": round(speedup, 2),
+            "characterizes": fast.characterizes,
+        }
+    out["min_speedup"] = round(min(speedups), 2)
+    return out
+
+
+def bench_sim() -> Dict[str, float]:
+    from repro.sim import Simulation, UniformWorkload
+
+    n = 8
+    graph = generators.star(n)
+
+    def run() -> None:
+        sim = Simulation(
+            graph,
+            seed=3,
+            clocks={
+                "inline-star": StarInlineClock(n),
+                "vector": VectorClock(n),
+            },
+        )
+        result = sim.run(UniformWorkload(events_per_process=25, p_local=0.2))
+        oracle = HappenedBeforeOracle(result.execution)
+        for asg in result.assignments.values():
+            asg.validate(oracle)
+
+    return {"star_n8_sim_validate_s": round(_best_of(run, repeats=2), 6)}
+
+
+def bench_allocation() -> Dict[str, object]:
+    graph = generators.star(16)
+    tracemalloc.start()
+    ex = random_execution(
+        graph, random.Random(5), steps=1_000, deliver_all=True
+    )
+    replay(ex, [VectorClock(16)])
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "events": ex.n_events,
+        "peak_bytes": peak,
+        "peak_bytes_per_event": round(peak / ex.n_events, 1),
+    }
+
+
+def check_regression(
+    snapshot: Dict[str, object],
+    baseline_path: pathlib.Path,
+    max_regression: float,
+) -> int:
+    """Compare kernel timings against *baseline_path*; 0 = within bounds."""
+    baseline = json.loads(baseline_path.read_text())
+    base_kernel = baseline.get("kernel", {})
+    cur_kernel = snapshot["kernel"]
+    failures = []
+    for metric in ("oracle_build_s", "hb_queries_s", "relation_counts_s"):
+        base = base_kernel.get(metric)
+        cur = cur_kernel.get(metric)  # type: ignore[union-attr]
+        if not base or not cur:
+            continue
+        ratio = cur / base
+        status = "ok" if ratio <= max_regression else "REGRESSION"
+        print(f"  {metric}: {base:.4f}s -> {cur:.4f}s "
+              f"({ratio:.2f}x, limit {max_regression:.1f}x) {status}")
+        if ratio > max_regression:
+            failures.append(metric)
+    if failures:
+        print(f"kernel regression beyond {max_regression:.1f}x: "
+              f"{', '.join(failures)}")
+        return 1
+    print("kernel within regression bounds")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shrink validate, skip the sim section "
+                             "(kernel section unchanged)")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_PR2.json")
+    parser.add_argument("--check", type=pathlib.Path, default=None,
+                        metavar="BASELINE",
+                        help="compare the kernel section against a "
+                             "baseline snapshot")
+    parser.add_argument("--max-regression", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    print("kernel microbenchmark "
+          f"(star n={KERNEL_N}, {KERNEL_STEPS} events)...")
+    snapshot: Dict[str, object] = {
+        "schema": "bench_pr2/v1",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "kernel": bench_kernel(),
+    }
+    print("validate matrix-vs-pairwise "
+          f"({400 if args.quick else 2000}-event star)...")
+    snapshot["validate"] = bench_validate(args.quick)
+    if not args.quick:
+        print("end-to-end simulation...")
+        snapshot["sim"] = bench_sim()
+    snapshot["allocation"] = bench_allocation()
+
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"snapshot written to {args.output}")
+    validate = snapshot["validate"]
+    print(f"validate speedup (min over schemes): "
+          f"{validate['min_speedup']}x")  # type: ignore[index]
+
+    if args.check is not None:
+        print(f"checking against baseline {args.check}:")
+        return check_regression(snapshot, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
