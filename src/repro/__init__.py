@@ -15,7 +15,10 @@ Kulkarni & Vaidya, PODC 2017.  The package provides:
   bounds (Lemmas 2.1–2.4) and the order-dimension argument of Theorem 4.4;
 - :mod:`repro.applications` — predicate detection, rollback recovery,
   replay, concurrent-update detection, and the Figure-4 sequencer KV store;
-- :mod:`repro.analysis` — analytic size models and latency statistics.
+- :mod:`repro.analysis` — analytic size models and latency statistics;
+- :mod:`repro.obs` — zero-dependency metrics registry and structured
+  JSONL run tracing (finalization-delay histograms, piggyback sizes,
+  fault counters) behind ``repro metrics`` and ``--trace-out``.
 
 Quickstart::
 
@@ -49,11 +52,16 @@ from repro.clocks import (
     replay,
     replay_one,
 )
+from repro.obs import MetricsRegistry, RunTracer, metric, use_registry
 from repro.topology import CommunicationGraph
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "MetricsRegistry",
+    "RunTracer",
+    "metric",
+    "use_registry",
     "Event",
     "EventId",
     "EventKind",

@@ -41,6 +41,24 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> str:
+    """Render a GitHub-flavoured markdown table (used by metric reports)."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
 def format_series(
     points: Sequence[tuple],
     x_label: str = "x",

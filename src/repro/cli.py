@@ -17,6 +17,15 @@ without writing code:
   reliable control transport, asserting that finalized timestamps agree
   with happened-before on the surviving execution.
 - ``experiments``  — quick headline reproduction of the core claims.
+- ``metrics``      — run a workload (or reload ``--trace-out`` files) and
+  export the metrics registry as JSON (see :mod:`repro.obs`).
+
+``simulate``, ``validate``, and ``chaos`` accept ``--trace-out PATH`` to
+write a structured JSONL trace of the run: a deterministic run header,
+span/event records, and metrics-registry snapshots.  Traces carry no
+wall-clock state, so reruns — including ``chaos --jobs N`` sweeps for any
+``N`` — are byte-identical and diff cleanly; render them with
+``python tools/metrics_report.py PATH...``.
 
 All output is plain text; exit status 0 means every check passed.
 """
@@ -46,6 +55,14 @@ from repro.clocks import (
 from repro.core import HappenedBeforeOracle
 from repro.core.trace import load_execution, save_execution
 from repro.clocks.replay import replay
+from repro.obs import (
+    MetricsRegistry,
+    RunTracer,
+    deterministic_run_id,
+    load_trace,
+    registry_from_trace,
+    use_registry,
+)
 from repro.sim import ControlTransport, Simulation, UniformWorkload
 from repro.topology import generators
 from repro.topology.graph import CommunicationGraph
@@ -107,52 +124,83 @@ class NamedClockFactory:
 
 
 # ----------------------------------------------------------------------
+def _make_tracer(kind: str, **meta) -> RunTracer:
+    """A tracer whose run id is a pure function of the run coordinates."""
+    ordered = {k: meta[k] for k in sorted(meta)}
+    return RunTracer(
+        kind=kind,
+        run_id=deterministic_run_id(kind, tuple(ordered.items())),
+        meta=ordered,
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     graph = build_topology(args.topology, args.n, args.seed)
     clocks: Dict[str, ClockAlgorithm] = {
         name: build_clock(name, graph) for name in args.clocks
     }
-    sim = Simulation(
-        graph,
+    registry = MetricsRegistry()
+    tracer = _make_tracer(
+        "simulate",
+        topology=args.topology,
+        n=graph.n_vertices,
+        events=args.events,
         seed=args.seed,
-        clocks=clocks,
-        control_transport=ControlTransport(args.transport),
-        fifo_app_channels=args.fifo,
+        clocks=list(args.clocks),
+        transport=args.transport,
     )
-    result = sim.run(
-        UniformWorkload(events_per_process=args.events, p_local=args.p_local)
-    )
-    ex = result.execution
-    print(
-        f"topology={args.topology} n={graph.n_vertices} "
-        f"events={ex.n_events} messages={result.app_messages} "
-        f"duration={result.duration:.2f}"
-    )
-    cover = best_cover(graph)
-    print(f"vertex cover used by 'inline': size {len(cover)} -> "
-          f"bound {2 * len(cover) + 2} elements")
-    oracle = HappenedBeforeOracle(ex)
-    rows = []
-    ok = True
-    for name, asg in result.assignments.items():
-        report = asg.validate(oracle)
-        expected = (
-            report.characterizes
-            if asg.algorithm.characterizes_causality
-            else report.is_consistent
+    with use_registry(registry):
+        sim = Simulation(
+            graph,
+            seed=args.seed,
+            clocks=clocks,
+            control_transport=ControlTransport(args.transport),
+            fifo_app_channels=args.fifo,
+            metrics=registry,
         )
-        ok &= expected
-        lat = summarize_latencies(result, name)
-        rows.append(
-            [
-                name,
-                report.is_consistent,
-                report.characterizes,
-                asg.max_elements(),
-                round(lat.finalized_fraction, 3),
-                round(lat.mean, 3),
-            ]
+        result = sim.run(
+            UniformWorkload(
+                events_per_process=args.events, p_local=args.p_local
+            )
         )
+        ex = result.execution
+        print(
+            f"topology={args.topology} n={graph.n_vertices} "
+            f"events={ex.n_events} messages={result.app_messages} "
+            f"duration={result.duration:.2f}"
+        )
+        cover = best_cover(graph)
+        print(f"vertex cover used by 'inline': size {len(cover)} -> "
+              f"bound {2 * len(cover) + 2} elements")
+        oracle = HappenedBeforeOracle(ex)
+        rows = []
+        ok = True
+        for name, asg in result.assignments.items():
+            report = asg.validate(oracle)
+            expected = (
+                report.characterizes
+                if asg.algorithm.characterizes_causality
+                else report.is_consistent
+            )
+            ok &= expected
+            lat = summarize_latencies(result, name)
+            rows.append(
+                [
+                    name,
+                    report.is_consistent,
+                    report.characterizes,
+                    asg.max_elements(),
+                    round(lat.finalized_fraction, 3),
+                    round(lat.mean, 3),
+                ]
+            )
+            tracer.event(
+                "clock-validated",
+                clock=name,
+                consistent=report.is_consistent,
+                exact=report.characterizes,
+                max_elements=asg.max_elements(),
+            )
     print(
         format_table(
             ["clock", "consistent", "exact", "max elements",
@@ -163,6 +211,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.save_trace:
         save_execution(ex, args.save_trace)
         print(f"trace written to {args.save_trace}")
+    if args.trace_out:
+        tracer.snapshot_metrics("run", registry)
+        tracer.write(args.trace_out)
+        print(f"structured trace written to {args.trace_out}")
     return 0 if ok else 1
 
 
@@ -172,23 +224,44 @@ def cmd_validate(args: argparse.Namespace) -> int:
     if graph is None:
         graph = generators.clique(execution.n_processes)
     clocks = [build_clock(name, graph) for name in args.clocks]
-    oracle = HappenedBeforeOracle(execution)
+    registry = MetricsRegistry()
+    tracer = _make_tracer(
+        "validate",
+        trace=str(args.trace),
+        n=execution.n_processes,
+        events=execution.n_events,
+        clocks=list(args.clocks),
+    )
     ok = True
-    for asg in replay(execution, clocks):
-        report = asg.validate(oracle)
-        good = (
-            report.characterizes
-            if asg.algorithm.characterizes_causality
-            else report.is_consistent
-        )
-        ok &= good
-        status = "OK" if good else "FAIL"
-        print(
-            f"{asg.algorithm.name}: {status} "
-            f"(consistent={report.is_consistent}, "
-            f"exact={report.characterizes}, "
-            f"max elements={asg.max_elements()})"
-        )
+    with use_registry(registry):
+        oracle = HappenedBeforeOracle(execution)
+        for asg in replay(execution, clocks):
+            report = asg.validate(oracle)
+            good = (
+                report.characterizes
+                if asg.algorithm.characterizes_causality
+                else report.is_consistent
+            )
+            ok &= good
+            status = "OK" if good else "FAIL"
+            print(
+                f"{asg.algorithm.name}: {status} "
+                f"(consistent={report.is_consistent}, "
+                f"exact={report.characterizes}, "
+                f"max elements={asg.max_elements()})"
+            )
+            tracer.event(
+                "clock-validated",
+                clock=asg.algorithm.name,
+                ok=good,
+                consistent=report.is_consistent,
+                exact=report.characterizes,
+                max_elements=asg.max_elements(),
+            )
+    if args.trace_out:
+        tracer.snapshot_metrics("run", registry)
+        tracer.write(args.trace_out)
+        print(f"structured trace written to {args.trace_out}")
     return 0 if ok else 1
 
 
@@ -325,6 +398,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     retry = RetryPolicy(
         timeout=args.retry_timeout, max_retries=args.max_retries
     )
+    tracer = None
+    if args.trace_out:
+        # run id and meta deliberately exclude --jobs: a parallel sweep's
+        # trace must be byte-identical to the serial one
+        tracer = _make_tracer(
+            "chaos",
+            topology=args.topology,
+            n=graph.n_vertices,
+            events=args.events,
+            seed=args.seed,
+            clocks=list(args.clocks),
+            quick=bool(args.quick),
+            reliable=not args.unreliable,
+        )
     report = run_chaos(
         graph,
         factories,
@@ -334,6 +421,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         reliable=not args.unreliable,
         retry=retry,
         jobs=args.jobs,
+        tracer=tracer,
     )
     transport = (
         "fire-and-forget"
@@ -357,6 +445,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print(f"FAIL: {cell.scenario} × {cell.clock} ({kind} invariant)")
     else:
         print("all scenario × clock invariants hold")
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"structured trace written to {args.trace_out}")
     return 0 if report.ok else 1
 
 
@@ -379,6 +470,44 @@ def _star_size_row(n: int):
     row = [n, inline.max_elements(), vector.max_elements(),
            inline.validate().characterizes]
     return row, inline.max_elements() == 4 and vector.max_elements() == n
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Export a metrics registry as JSON.
+
+    Two modes: ``--from-trace`` folds the metrics snapshots of one or more
+    structured trace files (``--trace-out`` output) into a single registry;
+    otherwise a seeded simulation is run (same knobs as ``simulate``) and
+    its registry — simulator instrumentation plus validation counters — is
+    exported.
+    """
+    import json
+
+    registry = MetricsRegistry()
+    if args.from_trace:
+        for path in args.from_trace:
+            registry.merge(registry_from_trace(load_trace(path)))
+    else:
+        graph = build_topology(args.topology, args.n, args.seed)
+        clocks = {name: build_clock(name, graph) for name in args.clocks}
+        with use_registry(registry):
+            sim = Simulation(
+                graph, seed=args.seed, clocks=clocks, metrics=registry
+            )
+            result = sim.run(
+                UniformWorkload(events_per_process=args.events)
+            )
+            oracle = HappenedBeforeOracle(result.execution)
+            for asg in result.assignments.values():
+                asg.validate(oracle)
+    payload = registry.to_json(indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"metrics written to {args.output}")
+    else:
+        print(payload)
+    return 0
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -448,12 +577,36 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--fifo", action="store_true",
                    help="FIFO application channels")
     p.add_argument("--save-trace", metavar="PATH", default=None)
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write a structured JSONL run trace (repro.obs)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("validate", help="validate clocks on a saved trace")
     p.add_argument("trace")
     p.add_argument("--clocks", nargs="+", default=["inline", "vector"])
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write a structured JSONL run trace (repro.obs)")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "metrics",
+        help="export a metrics registry as JSON (run a workload or "
+        "reload --trace-out files)",
+    )
+    p.add_argument("--from-trace", nargs="+", metavar="PATH", default=None,
+                   help="merge the metrics snapshots of these JSONL traces "
+                   "instead of running a simulation")
+    p.add_argument("--topology", default="star",
+                   choices=["star", "cycle", "clique", "path", "double-star",
+                            "tree", "random"])
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--events", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--clocks", nargs="+", default=["inline", "vector"],
+                   metavar="CLOCK")
+    p.add_argument("--output", metavar="PATH", default=None,
+                   help="write the JSON here instead of stdout")
+    p.set_defaults(fn=cmd_metrics)
 
     p = sub.add_parser("sizes", help="analytic size model (Thms 4.2/4.3)")
     p.add_argument("--n", type=int, default=32)
@@ -495,6 +648,9 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-retries", type=int, default=4)
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the scenario sweep")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write a structured JSONL sweep trace "
+                   "(byte-identical for any --jobs)")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(

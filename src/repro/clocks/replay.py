@@ -23,6 +23,7 @@ from repro.clocks.base import ClockAlgorithm, Timestamp, precedes_matrix_rows
 from repro.core.events import EventId
 from repro.core.execution import Execution
 from repro.core.happened_before import HappenedBeforeOracle
+from repro.obs.metrics import active_registry
 
 
 @dataclass(frozen=True)
@@ -237,6 +238,14 @@ class TimestampAssignment:
                     pos_keyed.append((key, (ids[i], ids[j])))
         neg_keyed.sort(key=lambda kv: kv[0])
         pos_keyed.sort(key=lambda kv: kv[0])
+        # observability: how much work the matrix validator did — compared
+        # cells (the full m×m grid) and mismatch bits it had to decode
+        reg = active_registry()
+        reg.counter("validate.cells").inc(m * m)
+        reg.counter("validate.mismatch_decodes").inc(
+            len(neg_keyed) + len(pos_keyed)
+        )
+        reg.counter("validate.runs").inc()
         return ValidationReport(
             algorithm=self._algorithm.name,
             n_events=m,
@@ -306,8 +315,15 @@ def replay(
     payloads: List[Dict[int, object]] = [dict() for _ in algorithms]
     finalized: List[Set[EventId]] = [set() for _ in algorithms]
 
+    reg = active_registry()
+    delay_hists = [
+        reg.histogram("clock.finalization_delay_events", clock=algo.name)
+        for algo in algorithms
+    ]
+    seq: Dict[EventId, int] = {}
     order = execution.delivery_order()
-    for ev in order:
+    for idx, ev in enumerate(order):
+        seq[ev.eid] = idx
         for i, algo in enumerate(algorithms):
             if ev.is_local:
                 algo.on_local(ev)
@@ -318,7 +334,13 @@ def replay(
                 controls = algo.on_receive(ev, payload)
                 for cm in controls:
                     algo.on_control(cm.src, cm.dst, cm.payload)
-            finalized[i].update(algo.drain_newly_finalized())
+            newly = algo.drain_newly_finalized()
+            if newly:
+                finalized[i].update(newly)
+                for eid in newly:
+                    # time-to-non-⊥ in events under the replayer's total
+                    # order (instant control delivery = best case)
+                    delay_hists[i].observe(idx - seq[eid])
 
     results: List[TimestampAssignment] = []
     for i, algo in enumerate(algorithms):

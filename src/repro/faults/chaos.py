@@ -40,6 +40,8 @@ from repro.faults.models import (
     GilbertElliottLoss,
     PartitionFault,
 )
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.tracing import RunTracer
 from repro.sim.network import RetryPolicy
 from repro.sim.workload import UniformWorkload, Workload
 
@@ -134,10 +136,13 @@ class ChaosCell:
 
 @dataclass
 class ChaosReport:
-    """All cells of one sweep, plus skipped clock names."""
+    """All cells of one sweep, plus skipped clock names and the sweep's
+    merged metrics registry (cells merged in scenario order, so the
+    registry is identical for any ``jobs`` count)."""
 
     cells: List[ChaosCell] = field(default_factory=list)
     skipped: List[str] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     @property
     def ok(self) -> bool:
@@ -224,49 +229,67 @@ class _UniformWorkloadFactory:
         )
 
 
-def _scenario_cells(payload) -> List[ChaosCell]:
+def _scenario_cells(payload):
     """Run one scenario across every usable clock — one sweep-cell batch.
 
     A module-level function so :func:`run_chaos` can fan scenarios out to
     worker processes; *payload* carries everything the cell needs and must
     be picklable when ``jobs > 1``.
+
+    Returns ``(cells, trace_records, metrics_export)``.  The scenario runs
+    under its *own* :class:`~repro.obs.metrics.MetricsRegistry` (installed
+    via :func:`~repro.obs.metrics.use_registry`, so the simulator's and the
+    validators' instrumentation land there and nowhere else) and builds a
+    headerless trace fragment.  Both come back as plain picklable data that
+    the parent merges in scenario order — which is what makes a ``--jobs 4``
+    sweep's trace byte-identical to the serial one.
     """
     from repro.sim.runner import Simulation  # deferred: avoids import cycle
 
     (graph, scenario, factories, seed, reliable, retry, workload_factory) = (
         payload
     )
-    clocks = {name: factory() for name, factory in factories.items()}
-    sim = Simulation(
-        graph,
+    registry = MetricsRegistry()
+    tracer = RunTracer(emit_header=False)
+    tracer.begin_span(
+        "scenario",
+        scenario=scenario.name,
+        faults=scenario.describe(),
         seed=seed,
-        clocks=clocks,
-        app_loss_rate=scenario.app_loss,
-        control_loss_rate=scenario.control_loss,
-        fault_model=scenario.fault,
-        control_retry=retry if reliable else None,
+        reliable=reliable,
     )
-    result = sim.run(workload_factory())
-    oracle = HappenedBeforeOracle(result.execution)
-    cells: List[ChaosCell] = []
-    for name, algo in clocks.items():
-        assignment = result.assignments[name]
-        validation = assignment.validate(oracle)
-        causality_ok = (
-            validation.characterizes
-            if algo.characterizes_causality
-            else validation.is_consistent
+    clocks = {name: factory() for name, factory in factories.items()}
+    with use_registry(registry):
+        sim = Simulation(
+            graph,
+            seed=seed,
+            clocks=clocks,
+            app_loss_rate=scenario.app_loss,
+            control_loss_rate=scenario.control_loss,
+            fault_model=scenario.fault,
+            control_retry=retry if reliable else None,
+            metrics=registry,
         )
-        checkpoint_ok = _checkpoint_permanence_ok(
-            result, name, factories[name]
-        )
-        latencies = result.finalization_latencies(name)
-        mean_latency = (
-            sum(latencies.values()) / len(latencies) if latencies else 0.0
-        )
-        stats = result.stats[name]
-        cells.append(
-            ChaosCell(
+        result = sim.run(workload_factory())
+        oracle = HappenedBeforeOracle(result.execution)
+        cells: List[ChaosCell] = []
+        for name, algo in clocks.items():
+            assignment = result.assignments[name]
+            validation = assignment.validate(oracle)
+            causality_ok = (
+                validation.characterizes
+                if algo.characterizes_causality
+                else validation.is_consistent
+            )
+            checkpoint_ok = _checkpoint_permanence_ok(
+                result, name, factories[name]
+            )
+            latencies = result.finalization_latencies(name)
+            mean_latency = (
+                sum(latencies.values()) / len(latencies) if latencies else 0.0
+            )
+            stats = result.stats[name]
+            cell = ChaosCell(
                 scenario=scenario.name,
                 clock=name,
                 causality_ok=causality_ok,
@@ -283,8 +306,23 @@ def _scenario_cells(payload) -> List[ChaosCell]:
                 dropped_control=result.dropped_control_messages,
                 suppressed_events=result.suppressed_events,
             )
-        )
-    return cells
+            cells.append(cell)
+            tracer.event(
+                "cell",
+                scenario=scenario.name,
+                clock=name,
+                ok=cell.ok,
+                causality_ok=cell.causality_ok,
+                checkpoint_ok=cell.checkpoint_ok,
+                finalized_fraction=round(cell.finalized_fraction, 6),
+                mean_latency=round(cell.mean_latency, 6),
+                retransmissions=cell.retransmissions,
+                dropped_app=cell.dropped_app,
+                dropped_control=cell.dropped_control,
+            )
+    tracer.snapshot_metrics(scenario.name, registry)
+    tracer.end_span("scenario", scenario=scenario.name)
+    return cells, tracer.records, registry.as_dict()
 
 
 def run_chaos(
@@ -297,6 +335,7 @@ def run_chaos(
     retry: Optional[RetryPolicy] = None,
     workload_factory: Optional[Callable[[], Workload]] = None,
     jobs: int = 1,
+    tracer: Optional[RunTracer] = None,
 ) -> ChaosReport:
     """Run every scenario × algorithm cell and validate the invariants.
 
@@ -311,6 +350,13 @@ def run_chaos(
     own seeded :class:`Simulation`, so the report is identical to the
     serial sweep, cell for cell; factories and the workload factory must
     then be picklable (the defaults are).
+
+    Every scenario records into a scenario-local metrics registry; the
+    registries are merged in scenario order into ``ChaosReport.metrics``.
+    With *tracer*, each scenario's span/event records and its metrics
+    snapshot are appended to the trace, again in scenario order — so the
+    trace (and registry) of a parallel sweep is byte-identical to the
+    serial one.
     """
     if scenarios is None:
         scenarios = default_scenarios(graph.n_vertices)
@@ -328,11 +374,25 @@ def run_chaos(
             report.skipped.append(name)
         else:
             usable[name] = factory
+    if tracer is not None and report.skipped:
+        tracer.event("skipped-clocks", clocks=sorted(report.skipped))
 
     payloads = [
         (graph, scenario, usable, seed, reliable, retry, workload_factory)
         for scenario in scenarios
     ]
-    for cells in parallel_map(_scenario_cells, payloads, jobs=jobs):
+    for cells, records, metrics_export in parallel_map(
+        _scenario_cells, payloads, jobs=jobs
+    ):
         report.cells.extend(cells)
+        report.metrics.merge(metrics_export)
+        if tracer is not None:
+            tracer.extend(records)
+    if tracer is not None:
+        tracer.event(
+            "sweep-summary",
+            cells=len(report.cells),
+            failures=len(report.failures()),
+            ok=report.ok,
+        )
     return report

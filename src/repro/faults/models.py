@@ -100,6 +100,13 @@ class FaultModel(abc.ABC):
         """Sorted ``(time, proc, up)`` crash/recovery transitions."""
         return []
 
+    def partition_epochs(self) -> List[Tuple[float, float]]:
+        """Sorted ``(start, heal)`` windows during which the model cuts the
+        network into groups.  Hosts record these as first-class metrics
+        (``faults.partition_epochs``) so a run's trace shows when the
+        topology was split without re-deriving it from drop counts."""
+        return []
+
     def can_disrupt_app(self) -> bool:
         """Whether the model may drop, duplicate, or suppress application
         messages (used to reject FIFO-requiring clocks at construction)."""
@@ -298,6 +305,9 @@ class PartitionFault(FaultModel):
             return DROP
         return DELIVER
 
+    def partition_epochs(self) -> List[Tuple[float, float]]:
+        return [(self.start, self.heals_at)]
+
     def can_disrupt_app(self) -> bool:
         return self.scope != "control"
 
@@ -406,6 +416,13 @@ class CompositeFault(FaultModel):
         out: List[Tuple[float, ProcessId, bool]] = []
         for m in self.models:
             out.extend(m.liveness_transitions())
+        out.sort()
+        return out
+
+    def partition_epochs(self) -> List[Tuple[float, float]]:
+        out: List[Tuple[float, float]] = []
+        for m in self.models:
+            out.extend(m.partition_epochs())
         out.sort()
         return out
 

@@ -19,6 +19,7 @@ from repro.clocks.base import standard_vector_rows
 from repro.core.events import EventId
 from repro.core.execution import Execution
 from repro.core.happened_before import HappenedBeforeOracle
+from repro.obs.metrics import active_registry
 
 
 class ViolationKind(enum.Enum):
@@ -148,6 +149,11 @@ def check_vector_assignment(
             )
     keyed.sort(key=lambda kv: kv[0])
     violations = [v for _k, v in keyed]
+    # observability: matrix-validate work done by the lower-bound checker
+    reg = active_registry()
+    reg.counter("validate.cells").inc(m * m)
+    reg.counter("validate.mismatch_decodes").inc(len(keyed))
+    reg.counter("validate.runs").inc()
     if stop_at_first and violations:
         violations = violations[:1]
     return VectorAssignmentReport(len(ids), length, tuple(violations))

@@ -1,0 +1,153 @@
+"""Render markdown summaries from structured trace files.
+
+``python tools/metrics_report.py run1.jsonl [run2.jsonl ...]`` uses this
+module to turn one or more JSONL traces (written via ``--trace-out``) into
+a human-readable report: one section per trace with the run header, the
+counter table, and a histogram table with bucket-resolution quantiles.
+Multiple traces can also be folded into a single combined registry table
+(``combine=True``), which is how sweep runs are compared across fault
+profiles or worker counts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, List, Mapping, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import load_trace, registry_from_trace, run_header
+
+
+def _markdown_table(headers: Sequence[str], rows) -> str:
+    # deferred import: repro.analysis pulls in repro.sim, whose runner is
+    # itself instrumented against repro.obs — importing it lazily keeps
+    # ``repro.obs`` importable from anywhere in the package
+    from repro.analysis.reports import format_markdown_table
+
+    return format_markdown_table(headers, rows)
+
+
+def _registry_section(registry: MetricsRegistry) -> List[str]:
+    data = registry.as_dict()
+    lines: List[str] = []
+    counters: Mapping[str, int] = data["counters"]
+    gauges: Mapping[str, float] = data["gauges"]
+    if counters or gauges:
+        lines.append("")
+        lines.append("### Counters")
+        lines.append("")
+        rows = [[k, v] for k, v in counters.items()]
+        rows += [[k, v] for k, v in sorted(gauges.items())]
+        lines.append(_markdown_table(["metric", "value"], rows))
+    histograms = data["histograms"]
+    if histograms:
+        lines.append("")
+        lines.append("### Histograms")
+        lines.append("")
+        rows = []
+        for key in histograms:
+            hd = histograms[key]
+            count = hd["count"]
+            mean = hd["sum"] / count if count else 0.0
+            rows.append(
+                [
+                    key,
+                    count,
+                    round(mean, 3),
+                    _quantile_from_export(hd, 0.5),
+                    _quantile_from_export(hd, 0.9),
+                    hd["min"] if hd["min"] is not None else "-",
+                    hd["max"] if hd["max"] is not None else "-",
+                ]
+            )
+        lines.append(
+            _markdown_table(
+                ["histogram", "count", "mean", "p50", "p90", "min", "max"],
+                rows,
+            )
+        )
+    if not lines:
+        lines = ["", "_(no metrics recorded)_"]
+    return lines
+
+
+def _quantile_from_export(hd: Mapping[str, Any], q: float) -> Any:
+    """Bucket-resolution quantile straight from an exported histogram."""
+    count = hd["count"]
+    if not count:
+        return "-"
+    rank = max(1, round(q * count))
+    seen = 0
+    for i, c in enumerate(hd["counts"]):
+        seen += c
+        if seen >= rank:
+            edges = hd["edges"]
+            return edges[i] if i < len(edges) else hd["max"]
+    return hd["max"]
+
+
+def _scenario_rows(records: Sequence[Mapping[str, Any]]) -> List[List[Any]]:
+    """Per-cell outcome rows from a chaos trace's ``cell`` events."""
+    rows = []
+    for rec in records:
+        if rec.get("type") == "event" and rec.get("name") == "cell":
+            a = rec.get("attrs", {})
+            rows.append(
+                [
+                    a.get("scenario", "?"),
+                    a.get("clock", "?"),
+                    "OK" if a.get("ok") else "FAIL",
+                    a.get("finalized_fraction", "-"),
+                    a.get("mean_latency", "-"),
+                ]
+            )
+    return rows
+
+
+def render_trace_report(path: Union[str, Path]) -> str:
+    """Markdown summary of one trace file."""
+    records = load_trace(path)
+    header = run_header(records)
+    registry = registry_from_trace(records)
+    lines = [f"## {Path(path).name} — `{header.get('kind', 'run')}`", ""]
+    meta_rows = [
+        [k, header[k]] for k in sorted(header) if k not in ("kind",)
+    ]
+    if meta_rows:
+        lines.append(_markdown_table(["run attribute", "value"], meta_rows))
+    cells = _scenario_rows(records)
+    if cells:
+        lines.append("")
+        lines.append("### Cells")
+        lines.append("")
+        lines.append(
+            _markdown_table(
+                ["scenario", "clock", "invariant", "finalized frac",
+                 "mean latency"],
+                cells,
+            )
+        )
+    lines.extend(_registry_section(registry))
+    return "\n".join(lines)
+
+
+def render_report(
+    paths: Sequence[Union[str, Path]], combine: bool = False
+) -> str:
+    """Markdown report over one or more trace files.
+
+    With ``combine=True`` a final section folds every trace's registry into
+    one merged table (counters add, histograms add cell-wise).
+    """
+    sections = [render_trace_report(p) for p in paths]
+    if combine and len(paths) > 1:
+        merged = MetricsRegistry()
+        for p in paths:
+            merged.merge(registry_from_trace(load_trace(p)))
+        sections.append(
+            "\n".join(
+                [f"## combined ({len(paths)} traces)"]
+                + _registry_section(merged)
+            )
+        )
+    return ("\n\n".join(sections)).rstrip() + "\n"

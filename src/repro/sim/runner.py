@@ -45,6 +45,11 @@ from repro.clocks.replay import TimestampAssignment
 from repro.core.events import Event, EventId, MessageId, ProcessId
 from repro.core.execution import Execution, ExecutionBuilder
 from repro.faults.models import DELIVER, FaultModel
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    VTIME_BUCKETS,
+    MetricsRegistry,
+)
 from repro.sim.network import (
     DelayModel,
     Network,
@@ -116,6 +121,9 @@ class SimulationResult:
     crash_checkpoints: List[Tuple[float, Dict[str, Any]]] = field(
         default_factory=list
     )
+    #: the run's metrics registry (see :mod:`repro.obs`): per-clock
+    #: finalization-delay histograms, piggyback sizes, transport counters
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def finalization_latencies(self, name: str) -> Dict[EventId, float]:
         """Virtual-time lag from event occurrence to a permanent timestamp.
@@ -178,6 +186,11 @@ class Simulation:
         positive acks, timeout retransmission with exponential backoff and
         bounded retries, duplicate suppression.  ``None`` (default) keeps
         the legacy fire-and-forget transport.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` the run records into
+        (per-clock finalization-delay histograms, piggyback sizes,
+        transport and fault counters); a fresh registry is created when
+        omitted.  Either way it is returned as ``SimulationResult.metrics``.
     """
 
     def __init__(
@@ -193,6 +206,7 @@ class Simulation:
         control_loss_rate: float = 0.0,
         fault_model: Optional[FaultModel] = None,
         control_retry: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._graph = graph
         self._seed = seed
@@ -219,6 +233,7 @@ class Simulation:
                 "be individually retransmitted)"
             )
         self._control_retry = control_retry
+        self._metrics = metrics
         self._check_fifo_compatibility()
         self._ran = False
 
@@ -284,6 +299,7 @@ class Simulation:
             return None
         ev = self._builder.local(proc)
         self._event_times[ev.eid] = self.now
+        self._event_seq[ev.eid] = len(self._event_seq)
         for i, algo in enumerate(self._algos):
             algo.on_local(ev)
             self._drain(i)
@@ -300,6 +316,7 @@ class Simulation:
         msg_id = self._builder.send(src, dst)
         ev = self._builder.last_event(src)
         self._event_times[ev.eid] = self.now
+        self._event_seq[ev.eid] = len(self._event_seq)
         # Decide the message's fate *before* touching pending piggybacked
         # controls: controls whose carrier is dropped must stay queued for
         # the next carrier, not vanish silently.
@@ -315,7 +332,17 @@ class Simulation:
         for i, algo in enumerate(self._algos):
             payload = algo.on_send(ev)
             self._payloads[i][msg_id] = payload
-            self._stats[i].app_payload_elements += algo.payload_elements(payload)
+            n_elems = algo.payload_elements(payload)
+            self._stats[i].app_payload_elements += n_elems
+            name = self._names[i]
+            self._reg.histogram(
+                "clock.piggyback_elements", clock=name
+            ).observe(n_elems)
+            # 8-byte integers per scalar element — the same accounting the
+            # Theorem 4.3 bit model coarsens, but per message, live.
+            self._reg.histogram(
+                "clock.piggyback_bytes", buckets=BYTE_BUCKETS, clock=name
+            ).observe(8 * n_elems)
             self._drain(i)
             if self._transport is ControlTransport.PIGGYBACK and not dropped:
                 piggyback.append(self._pending_controls[i].pop((src, dst), None))
@@ -378,6 +405,7 @@ class Simulation:
         msg = self._builder.message(msg_id)
         recv = self._builder.receive(msg.dst, msg_id)
         self._event_times[recv.eid] = self.now
+        self._event_seq[recv.eid] = len(self._event_seq)
         for i, algo in enumerate(self._algos):
             payload = self._payloads[i].pop(msg_id)
             controls = algo.on_receive(recv, payload)
@@ -476,8 +504,24 @@ class Simulation:
             )
 
     def _drain(self, algo_idx: int) -> None:
-        for eid in self._algos[algo_idx].drain_newly_finalized():
+        newly = self._algos[algo_idx].drain_newly_finalized()
+        if not newly:
+            return
+        name = self._names[algo_idx]
+        delay_events = self._reg.histogram(
+            "clock.finalization_delay_events", clock=name
+        )
+        delay_vtime = self._reg.histogram(
+            "clock.finalization_delay_vtime", buckets=VTIME_BUCKETS, clock=name
+        )
+        n_seen = len(self._event_seq)
+        for eid in newly:
             self._finalization_times[algo_idx][eid] = self.now
+            # time-to-non-⊥ measured in events: how many events the run
+            # performed while this event's timestamp was still provisional
+            # (0 = finalized at its own occurrence, the online case)
+            delay_events.observe(n_seen - 1 - self._event_seq[eid])
+            delay_vtime.observe(self.now - self._event_times[eid])
 
     # ------------------------------------------------------------------
     def run(
@@ -512,6 +556,8 @@ class Simulation:
             AlgorithmStats() for _ in self._algos
         ]
         self._event_times: Dict[EventId, float] = {}
+        self._event_seq: Dict[EventId, int] = {}
+        self._reg = self._metrics if self._metrics is not None else MetricsRegistry()
         self._finalization_times: List[Dict[EventId, float]] = [
             dict() for _ in self._algos
         ]
@@ -567,6 +613,7 @@ class Simulation:
                 algo, execution, ts, finalized_during_run
             )
 
+        self._record_run_metrics(execution, assignments)
         return SimulationResult(
             execution=execution,
             graph=self._graph,
@@ -588,7 +635,84 @@ class Simulation:
             suppressed_events=self._suppressed_events,
             piggyback_controls_retained=self._retained_piggyback,
             crash_checkpoints=self._crash_checkpoints,
+            metrics=self._reg,
         )
+
+    def _record_run_metrics(
+        self,
+        execution: Execution,
+        assignments: Dict[str, TimestampAssignment],
+    ) -> None:
+        """Fold the run's tallies into the metrics registry.
+
+        Counters mirror the :class:`SimulationResult` fields (one source of
+        truth — the tallies — exported twice); the per-clock histograms add
+        the paper's size metrics: element counts per timestamp and encoded
+        bits under the Theorem 4.3 accounting.
+        """
+        reg = self._reg
+        reg.counter("sim.events_total").inc(execution.n_events)
+        reg.counter("sim.app_messages_sent").inc(
+            len(execution.messages) + self._dropped_app
+        )
+        reg.counter("sim.app_messages_dropped").inc(self._dropped_app)
+        reg.counter("sim.app_messages_crash_dropped").inc(
+            self._crash_dropped_app
+        )
+        reg.counter("sim.app_duplicates_suppressed").inc(
+            self._dup_app_suppressed
+        )
+        reg.counter("sim.control_messages_dropped").inc(self._dropped_control)
+        reg.counter("sim.suppressed_events").inc(self._suppressed_events)
+        reg.counter("sim.piggyback_controls_retained").inc(
+            self._retained_piggyback
+        )
+        reg.counter("sim.crash_checkpoints").inc(len(self._crash_checkpoints))
+        reg.gauge("sim.duration_vtime").set(self._scheduler.now)
+        if self._fault_model is not None:
+            reg.counter("faults.partition_epochs").inc(
+                len(self._fault_model.partition_epochs())
+            )
+            reg.counter("faults.crash_outages").inc(
+                sum(
+                    1
+                    for _t, _p, up in self._fault_model.liveness_transitions()
+                    if not up
+                )
+            )
+        max_events = max(
+            (
+                sum(1 for _ in execution.events_at(p))
+                for p in range(execution.n_processes)
+            ),
+            default=0,
+        )
+        for name, algo, stats in zip(self._names, self._algos, self._stats):
+            reg.counter("clock.control_messages", clock=name).inc(
+                stats.control_messages
+            )
+            reg.counter("clock.control_elements", clock=name).inc(
+                stats.control_elements
+            )
+            reg.counter("clock.control_retransmissions", clock=name).inc(
+                stats.control_retransmissions
+            )
+            reg.counter("clock.control_duplicates_suppressed", clock=name).inc(
+                stats.control_duplicates_suppressed
+            )
+            reg.counter("clock.control_acks", clock=name).inc(
+                stats.control_acks
+            )
+            reg.counter("clock.control_abandoned", clock=name).inc(
+                stats.control_abandoned
+            )
+            elements = reg.histogram("clock.timestamp_elements", clock=name)
+            bits = reg.histogram(
+                "clock.timestamp_bits", buckets=None, clock=name
+            )
+            for _eid, ts in assignments[name].items():
+                elements.observe(ts.n_elements)
+                bits.observe(algo.timestamp_bits(ts, max(1, max_events)))
 
     def _make_crash_hook(self) -> Callable[[], None]:
         """Checkpoint every attached clock at a crash instant.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -9,6 +10,21 @@ import pytest
 from repro.core import ExecutionBuilder, HappenedBeforeOracle
 from repro.core.random_executions import random_execution
 from repro.topology import generators
+
+try:
+    from hypothesis import settings
+
+    # CI runners are slow and noisy: disable the per-example deadline (it
+    # produces flaky DeadlineExceeded failures under load) and trim the
+    # example budget.  ``derandomize`` keeps shrink output reproducible
+    # across re-runs of the same commit.
+    settings.register_profile(
+        "ci", deadline=None, max_examples=25, derandomize=True
+    )
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile("ci" if os.environ.get("CI") else "dev")
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
 
 
 @pytest.fixture

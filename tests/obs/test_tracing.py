@@ -1,0 +1,162 @@
+"""Unit tests for structured run tracing: records, merge, file round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    RunTracer,
+    deterministic_run_id,
+    load_trace,
+    registry_from_trace,
+    run_header,
+)
+
+
+class TestDeterministicRunId:
+    def test_stable_for_same_coordinates(self):
+        a = deterministic_run_id("chaos", ("star", 8), 0)
+        b = deterministic_run_id("chaos", ("star", 8), 0)
+        assert a == b
+        assert len(a) == 16
+        int(a, 16)  # hex
+
+    def test_differs_across_coordinates(self):
+        assert deterministic_run_id("chaos", 0) != deterministic_run_id(
+            "chaos", 1
+        )
+
+
+class TestRunTracer:
+    def test_header_first_with_schema_and_meta(self):
+        t = RunTracer(kind="chaos", meta={"topology": "star", "n": 8})
+        head = t.records[0]
+        assert head["type"] == "run"
+        assert head["schema"] == TRACE_SCHEMA
+        assert head["seq"] == 0
+        assert head["run"]["kind"] == "chaos"
+        assert head["run"]["topology"] == "star"
+        assert head["run"]["run_id"] == t.run_id
+
+    def test_seq_is_dense_and_ordered(self):
+        t = RunTracer()
+        t.begin_span("s", x=1)
+        t.event("e")
+        t.end_span("s")
+        assert [r["seq"] for r in t.records] == [0, 1, 2, 3]
+        assert [r["type"] for r in t.records] == [
+            "run", "span-begin", "event", "span-end",
+        ]
+
+    def test_headerless_fragment(self):
+        frag = RunTracer(emit_header=False)
+        frag.event("cell", ok=True)
+        assert frag.records[0]["type"] == "event"
+        assert frag.records[0]["seq"] == 0
+
+    def test_extend_renumbers_seq(self):
+        frag = RunTracer(emit_header=False)
+        frag.event("a")
+        frag.event("b")
+        parent = RunTracer(kind="sweep")
+        parent.event("pre")
+        parent.extend(frag.records)
+        seqs = [r["seq"] for r in parent.records]
+        assert seqs == list(range(len(seqs)))
+        assert [r.get("name") for r in parent.records[1:]] == ["pre", "a", "b"]
+
+    def test_extend_does_not_mutate_source(self):
+        frag = RunTracer(emit_header=False)
+        frag.event("a")
+        before = json.dumps(frag.records)
+        RunTracer().extend(frag.records)
+        assert json.dumps(frag.records) == before
+
+    def test_lines_are_compact_sorted_json(self):
+        t = RunTracer(kind="x")
+        t.event("e", b=2, a=1)
+        for line in t.lines():
+            rec = json.loads(line)
+            assert line == json.dumps(
+                rec, sort_keys=True, separators=(",", ":")
+            )
+
+    def test_merge_order_independence_of_worker_scheduling(self):
+        """Merging identical fragments in input order gives identical bytes."""
+
+        def fragment(tag):
+            f = RunTracer(emit_header=False)
+            f.begin_span("scenario", scenario=tag)
+            f.event("cell", scenario=tag)
+            f.end_span("scenario")
+            return f.records
+
+        # simulate two hosts that received worker results in different
+        # completion orders but merge in input order
+        a = RunTracer(kind="sweep", run_id="fixed")
+        b = RunTracer(kind="sweep", run_id="fixed")
+        frags = [fragment("s1"), fragment("s2"), fragment("s3")]
+        for fr in frags:
+            a.extend(fr)
+        for fr in frags:  # same input order, regardless of completion order
+            b.extend(fr)
+        assert a.lines() == b.lines()
+
+
+class TestFileRoundTrip:
+    def test_write_load_preserves_records(self, tmp_path):
+        t = RunTracer(kind="sim", meta={"seed": 3})
+        t.event("clock-validated", clock="vector", ok=True)
+        reg = MetricsRegistry()
+        reg.counter("sim.events_total").inc(12)
+        t.snapshot_metrics("run", reg)
+        path = t.write(tmp_path / "t.jsonl")
+        records = load_trace(path)
+        assert records == t.records
+
+    def test_load_rejects_missing_header(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"type":"event","name":"x","seq":0}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_trace(p)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"type":"run","schema":"other/9","run":{},"seq":0}\n')
+        with pytest.raises(ValueError):
+            load_trace(p)
+
+    def test_load_rejects_empty_and_non_object(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("\n")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(empty)
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("[1,2,3]\n")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_trace(junk)
+
+    def test_registry_from_trace_merges_snapshots(self):
+        t = RunTracer()
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("c").inc(2)
+        r1.histogram("h", buckets=(1, 2)).observe(1)
+        r2.counter("c").inc(3)
+        r2.histogram("h", buckets=(1, 2)).observe(2)
+        t.snapshot_metrics("cell-1", r1)
+        t.snapshot_metrics("cell-2", r2)
+        rebuilt = registry_from_trace(t.records)
+        assert rebuilt.counter_value("c") == 5
+        assert rebuilt.histogram("h", buckets=(1, 2)).count == 2
+
+    def test_run_header_extraction(self):
+        t = RunTracer(kind="validate", meta={"n": 5})
+        head = run_header(t.records)
+        assert head["kind"] == "validate"
+        assert head["n"] == 5
+        with pytest.raises(ValueError):
+            run_header([{"type": "event"}])

@@ -131,3 +131,86 @@ class TestHelpers:
 
         with pytest.raises(ValueError):
             build_clock("sundial", generators.star(3))
+
+
+class TestMetrics:
+    def test_fresh_run_prints_registry_json(self, capsys):
+        import json
+
+        rc = main(["metrics", "--topology", "star", "--n", "5",
+                   "--events", "8"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        data = json.loads(out)
+        assert data["schema"] == "repro.metrics/1"
+        assert data["counters"]["sim.events_total"] > 0
+        assert any(
+            k.startswith("clock.finalization_delay_events")
+            for k in data["histograms"]
+        )
+
+    def test_from_trace_merges_files(self, tmp_path, capsys):
+        import json
+
+        t1 = str(tmp_path / "a.jsonl")
+        t2 = str(tmp_path / "b.jsonl")
+        for t in (t1, t2):
+            assert main(["chaos", "--quick", "--events", "6",
+                         "--trace-out", t]) == 0
+        capsys.readouterr()
+        rc = main(["metrics", "--from-trace", t1, t2])
+        out = capsys.readouterr().out
+        assert rc == 0
+        merged = json.loads(out)
+        # identical runs merged twice: counters double
+        from repro.obs import load_trace, registry_from_trace
+
+        one = registry_from_trace(load_trace(t1)).as_dict()
+        for key, value in one["counters"].items():
+            assert merged["counters"][key] == 2 * value
+
+    def test_output_file(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "metrics.json"
+        rc = main(["metrics", "--n", "5", "--events", "6",
+                   "--output", str(out_path)])
+        capsys.readouterr()
+        assert rc == 0
+        data = json.loads(out_path.read_text())
+        assert data["schema"] == "repro.metrics/1"
+
+
+class TestMetricsReportTool:
+    def test_renders_markdown(self, tmp_path, capsys):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["chaos", "--quick", "--events", "6",
+                     "--trace-out", trace]) == 0
+        capsys.readouterr()
+        tool = Path(__file__).resolve().parent.parent / "tools" / "metrics_report.py"
+        proc = subprocess.run(
+            [sys.executable, str(tool), trace],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "### Counters" in proc.stdout
+        assert "### Histograms" in proc.stdout
+        assert "clock.finalization_delay_events" in proc.stdout
+
+    def test_bad_input_exits_2(self, tmp_path):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        tool = Path(__file__).resolve().parent.parent / "tools" / "metrics_report.py"
+        proc = subprocess.run(
+            [sys.executable, str(tool), str(bad)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 2

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Render markdown summaries from structured run traces.
+
+Usage::
+
+    python tools/metrics_report.py t.jsonl [more.jsonl ...] [--combine]
+        [--output report.md]
+
+Each trace file is one ``--trace-out`` output of ``repro simulate``,
+``repro validate``, or ``repro chaos``: a JSONL stream with a run header,
+span/event records, and metrics-registry snapshots (schema
+``repro.trace/1``; see EXPERIMENTS.md → Observability).  The report shows,
+per trace, the run attributes, the chaos cell outcomes (when present), the
+counter table, and a histogram table with bucket-resolution p50/p90.
+
+``--combine`` appends a section folding every trace's registry into one
+merged table — counters add, histogram buckets add cell-wise — for
+comparing or totalling sweeps.
+
+Exit status 0 on success, 2 when any input fails to parse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# allow running straight from a checkout without installing the package
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.report import render_report  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a markdown report from repro.obs JSONL traces"
+    )
+    parser.add_argument("traces", nargs="+", metavar="TRACE",
+                        help="JSONL trace file(s) written via --trace-out")
+    parser.add_argument("--combine", action="store_true",
+                        help="append a merged-registry section")
+    parser.add_argument("--output", metavar="PATH", default=None,
+                        help="write the report here instead of stdout")
+    args = parser.parse_args(argv)
+
+    try:
+        report = render_report(args.traces, combine=args.combine)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
