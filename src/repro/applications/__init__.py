@@ -34,11 +34,13 @@ from repro.applications.monitor import (
 )
 from repro.applications.concurrent_updates import (
     ConflictReport,
+    OnlineConcurrentUpdateDetector,
     conflict_resolution_status,
     find_conflicts,
 )
 from repro.applications.predicate import (
     DetectionResult,
+    OnlineConjunctiveDetector,
     assignment_comparator,
     detect_conjunctive,
     detect_with_inline,
@@ -61,9 +63,11 @@ __all__ = [
     "run_store",
     "verify_causal_reads",
     "ConflictReport",
+    "OnlineConcurrentUpdateDetector",
     "conflict_resolution_status",
     "find_conflicts",
     "DetectionResult",
+    "OnlineConjunctiveDetector",
     "assignment_comparator",
     "detect_conjunctive",
     "detect_with_inline",

@@ -14,6 +14,13 @@ the ground-truth vector clocks for O(n) successor checks.  The lattice can
 be exponential in general — that is inherent to the problem — so these
 detectors are meant for the modest executions a debugger examines.
 
+Every walker accepts either oracle flavor: the batch
+:class:`~repro.core.happened_before.HappenedBeforeOracle` over a completed
+execution, or a live :class:`~repro.core.incremental.IncrementalHBOracle`
+mid-run — the lattice is then explored up to the events appended so far,
+and a ``possibly`` witness found online is final (appends only grow the
+lattice upward).
+
 Inline-timestamp integration (paper Section 6): pass ``within`` to restrict
 the walk to the sublattice of cuts inside the currently *finalized*
 consistent cut.  A ``possibly`` witness found there is final (the sublattice
@@ -30,32 +37,60 @@ from repro.clocks.replay import TimestampAssignment
 from repro.core.cuts import Cut, empty_cut, full_cut, max_consistent_cut_within
 from repro.core.events import EventId
 from repro.core.happened_before import HappenedBeforeOracle
+from repro.core.incremental import (
+    AnyOracle,
+    IncrementalHBOracle,
+    as_batch_oracle,
+)
 
 #: a global predicate over consistent cuts (entry p = events taken at p)
 GlobalPredicate = Callable[[Cut], bool]
 
 
+def _n_processes(oracle: AnyOracle) -> int:
+    """Process count for either oracle flavor."""
+    if isinstance(oracle, IncrementalHBOracle):
+        return oracle.n_processes
+    return oracle.execution.n_processes
+
+
+def _limit_cut(oracle: AnyOracle) -> Cut:
+    """The full cut: every event seen so far (the live frontier when the
+    oracle is incremental and the run is still streaming)."""
+    if isinstance(oracle, IncrementalHBOracle):
+        return tuple(
+            oracle.event_count(p) for p in range(oracle.n_processes)
+        )
+    return full_cut(oracle)
+
+
 def _successors(
-    oracle: HappenedBeforeOracle, cut: Cut, limit: Cut
+    oracle: AnyOracle, cut: Cut, limit: Cut
 ) -> Iterator[Cut]:
-    """Consistent cuts reachable by admitting one more event, within *limit*."""
-    ex = oracle.execution
-    for p in range(ex.n_processes):
+    """Consistent cuts reachable by admitting one more event, within *limit*.
+
+    Event identity is positional — the next event at process ``p`` beyond
+    ``cut[p]`` is ``EventId(p, cut[p] + 1)`` by the 1-based consecutive
+    indexing — so the walk needs only vector clocks, which both oracle
+    flavors provide; no :class:`Execution` object is required and the
+    lattice can be explored against a still-running oracle.
+    """
+    n = _n_processes(oracle)
+    for p in range(n):
         if cut[p] >= limit[p]:
             continue
-        nxt = ex.events_at(p)[cut[p]]
-        vc = oracle.vector_clock(nxt.eid)
-        if all(vc[q] <= cut[q] for q in range(ex.n_processes) if q != p):
+        vc = oracle.vector_clock(EventId(p, cut[p] + 1))
+        if all(vc[q] <= cut[q] for q in range(n) if q != p):
             yield cut[:p] + (cut[p] + 1,) + cut[p + 1 :]
 
 
 def enumerate_consistent_cuts(
-    oracle: HappenedBeforeOracle,
+    oracle: AnyOracle,
     within: Optional[Cut] = None,
 ) -> Iterator[Cut]:
     """All consistent cuts (within *limit*), in level order from empty."""
-    limit = within if within is not None else full_cut(oracle)
-    level: Set[Cut] = {empty_cut(oracle.execution.n_processes)}
+    limit = within if within is not None else _limit_cut(oracle)
+    level: Set[Cut] = {empty_cut(_n_processes(oracle))}
     while level:
         nxt: Set[Cut] = set()
         for cut in sorted(level):
@@ -65,7 +100,7 @@ def enumerate_consistent_cuts(
 
 
 def possibly(
-    oracle: HappenedBeforeOracle,
+    oracle: AnyOracle,
     predicate: GlobalPredicate,
     within: Optional[Cut] = None,
 ) -> Optional[Cut]:
@@ -81,7 +116,7 @@ def possibly(
 
 
 def definitely(
-    oracle: HappenedBeforeOracle,
+    oracle: AnyOracle,
     predicate: GlobalPredicate,
     within: Optional[Cut] = None,
 ) -> bool:
@@ -91,8 +126,8 @@ def definitely(
     *definitely* iff the limit cut is unreachable through ¬Φ cuts alone
     (including the endpoints — a Φ-endpoint trivially intercepts paths).
     """
-    limit = within if within is not None else full_cut(oracle)
-    start = empty_cut(oracle.execution.n_processes)
+    limit = within if within is not None else _limit_cut(oracle)
+    start = empty_cut(_n_processes(oracle))
     if predicate(start) or predicate(limit):
         return True
     if start == limit:
@@ -116,7 +151,7 @@ def definitely(
 
 
 def count_consistent_cuts(
-    oracle: HappenedBeforeOracle, within: Optional[Cut] = None
+    oracle: AnyOracle, within: Optional[Cut] = None
 ) -> int:
     """Size of the (restricted) consistent-cut lattice."""
     return sum(1 for _ in enumerate_consistent_cuts(oracle, within))
@@ -126,7 +161,7 @@ def possibly_with_inline(
     assignment: TimestampAssignment,
     predicate: GlobalPredicate,
     finalized: Optional[Set[EventId]] = None,
-    oracle: Optional[HappenedBeforeOracle] = None,
+    oracle: Optional[AnyOracle] = None,
 ) -> Tuple[Optional[Cut], Cut]:
     """``possibly`` over the finalized sublattice (Section-6 recipe).
 
@@ -138,6 +173,10 @@ def possibly_with_inline(
     """
     if oracle is None:
         oracle = HappenedBeforeOracle(assignment.execution)
+    else:
+        # the cut machinery needs the batch bitset surface; freezing an
+        # incremental oracle reuses its rows instead of rebuilding
+        oracle = as_batch_oracle(oracle, assignment.execution)
     if finalized is None:
         finalized = set(assignment.finalized_during_run)
     limit = max_consistent_cut_within(oracle, lambda e: e in finalized)

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 from repro.clocks.replay import TimestampAssignment
 from repro.core.events import EventId
 from repro.core.happened_before import HappenedBeforeOracle
+from repro.core.incremental import AnyOracle, IncrementalHBOracle
 
 #: strict happened-before decision on two events
 Comparator = Callable[[EventId, EventId], bool]
@@ -100,9 +101,98 @@ def detect_conjunctive(
             return DetectionResult(found=False, witness=None, steps=steps)
 
 
-def oracle_comparator(oracle: HappenedBeforeOracle) -> Comparator:
-    """Ground-truth comparator (what online vector clocks provide)."""
+def oracle_comparator(oracle: AnyOracle) -> Comparator:
+    """Ground-truth comparator (what online vector clocks provide).
+
+    Accepts either oracle flavor: the batch
+    :class:`~repro.core.happened_before.HappenedBeforeOracle` or a live
+    :class:`~repro.core.incremental.IncrementalHBOracle` — the incremental
+    flavor routes through its memoized ``precedes`` so the detector's
+    repeated comparisons between appends hit the query cache.
+    """
+    if isinstance(oracle, IncrementalHBOracle):
+        return oracle.precedes
     return oracle.happened_before
+
+
+class OnlineConjunctiveDetector:
+    """Weak-conjunctive-predicate detection over a *live* streaming oracle.
+
+    The batch entry point :func:`detect_conjunctive` restarts its
+    candidate-advancement from scratch on every call; this detector keeps
+    the per-process candidate heads across polls.  That is sound because
+    advancement is monotone (Garg & Waldecker): an event discarded once —
+    it happened-before some other process's candidate, which only moves
+    forward — can never be part of a pairwise-concurrent witness later, and
+    appends never change the causal relation between existing events.  So
+    each :meth:`check` costs O(new marks + advancement steps), amortized
+    O(Δ) across the run, instead of re-deciding the whole history.
+    """
+
+    def __init__(
+        self,
+        oracle: IncrementalHBOracle,
+        processes: Sequence[int],
+    ) -> None:
+        if not processes:
+            raise ValueError("need at least one participating process")
+        self._oracle = oracle
+        self._marks: Dict[int, List[EventId]] = {p: [] for p in processes}
+        self._heads: Dict[int, int] = {p: 0 for p in processes}
+        self._steps = 0
+
+    @property
+    def steps(self) -> int:
+        """Candidate-advancement steps performed across all polls."""
+        return self._steps
+
+    def mark(self, eid: EventId) -> None:
+        """Record that *eid*'s process satisfies its local predicate there."""
+        marks = self._marks.get(eid.proc)
+        if marks is None:
+            raise ValueError(f"process {eid.proc} does not participate")
+        if marks and marks[-1].index >= eid.index:
+            raise ValueError(f"marks at p{eid.proc} must be increasing")
+        if eid not in self._oracle:
+            raise ValueError(f"{eid} has not been appended to the oracle")
+        marks.append(eid)
+
+    def check(self) -> DetectionResult:
+        """Poll for a pairwise-concurrent witness among current marks.
+
+        ``found=False`` means *not detectable yet* — more marks (or more
+        appends) may flip it, exactly the online-detection trade-off the
+        paper's Section 6 describes.  A ``found=True`` answer is final.
+        """
+        marks, heads = self._marks, self._heads
+        if any(heads[p] >= len(marks[p]) for p in marks):
+            return DetectionResult(found=False, witness=None, steps=self._steps)
+        precedes = self._oracle.precedes
+        procs = list(marks)
+        while True:
+            advanced: Optional[int] = None
+            for i, p in enumerate(procs):
+                for q in procs[i + 1 :]:
+                    e, f = marks[p][heads[p]], marks[q][heads[q]]
+                    if precedes(e, f):
+                        advanced = p
+                    elif precedes(f, e):
+                        advanced = q
+                    if advanced is not None:
+                        break
+                if advanced is not None:
+                    break
+            if advanced is None:
+                witness = {p: marks[p][heads[p]] for p in procs}
+                return DetectionResult(
+                    found=True, witness=witness, steps=self._steps
+                )
+            self._steps += 1
+            heads[advanced] += 1
+            if heads[advanced] >= len(marks[advanced]):
+                return DetectionResult(
+                    found=False, witness=None, steps=self._steps
+                )
 
 
 def assignment_comparator(assignment: TimestampAssignment) -> Comparator:

@@ -157,6 +157,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             control_transport=ControlTransport(args.transport),
             fifo_app_channels=args.fifo,
             metrics=registry,
+            online_oracle=args.online_oracle,
         )
         result = sim.run(
             UniformWorkload(
@@ -172,7 +173,18 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         cover = best_cover(graph)
         print(f"vertex cover used by 'inline': size {len(cover)} -> "
               f"bound {2 * len(cover) + 2} elements")
-        oracle = HappenedBeforeOracle(ex)
+        # freezes the streamed oracle under --online-oracle (no causal-past
+        # recompute); otherwise builds the batch oracle from the execution
+        oracle = result.hb_oracle()
+        if result.online_oracle is not None:
+            inc = result.online_oracle
+            print(
+                f"online oracle: {inc.n_events} appends "
+                f"({registry.counter('oracle.append_words').value} row words), "
+                f"query cache "
+                f"{registry.counter('oracle.query_cache_hit').value} hits / "
+                f"{registry.counter('oracle.query_cache_miss').value} misses"
+            )
         rows = []
         ok = True
         for name, asg in result.assignments.items():
@@ -579,6 +591,10 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-trace", metavar="PATH", default=None)
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="write a structured JSONL run trace (repro.obs)")
+    p.add_argument("--online-oracle", action="store_true",
+                   help="stream a causality oracle during the run (O(Δ) "
+                   "appends) and freeze it for validation instead of "
+                   "rebuilding happened-before afterwards")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("validate", help="validate clocks on a saved trace")

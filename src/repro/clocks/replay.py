@@ -23,6 +23,7 @@ from repro.clocks.base import ClockAlgorithm, Timestamp, precedes_matrix_rows
 from repro.core.events import EventId
 from repro.core.execution import Execution
 from repro.core.happened_before import HappenedBeforeOracle
+from repro.core.incremental import AnyOracle, as_batch_oracle
 from repro.obs.metrics import active_registry
 
 
@@ -122,7 +123,7 @@ class TimestampAssignment:
     # ------------------------------------------------------------------
     def validate_sampled(
         self,
-        oracle: Optional[HappenedBeforeOracle] = None,
+        oracle: Optional[AnyOracle] = None,
         n_pairs: int = 10_000,
         seed: int = 0,
     ) -> ValidationReport:
@@ -131,11 +132,17 @@ class TimestampAssignment:
         Exhaustive validation is quadratic in the event count; for large
         simulations this checks *n_pairs* uniformly random ordered pairs
         instead.  The report's pair counts refer to the sample.
+
+        Accepts either oracle flavor; an
+        :class:`~repro.core.incremental.IncrementalHBOracle` is frozen into
+        a batch view (reusing its rows) rather than rebuilt from scratch.
         """
         import random as _random
 
         if oracle is None:
             oracle = HappenedBeforeOracle(self._execution)
+        else:
+            oracle = as_batch_oracle(oracle, self._execution)
         rng = _random.Random(seed)
         ids = [ev.eid for ev in self._execution.all_events()]
         if len(ids) < 2:
@@ -175,13 +182,14 @@ class TimestampAssignment:
 
     def validate(
         self,
-        oracle: Optional[HappenedBeforeOracle] = None,
+        oracle: Optional[AnyOracle] = None,
         events: Optional[Sequence[EventId]] = None,
     ) -> ValidationReport:
         """Exhaustively compare timestamp order with true happened-before.
 
         *events* restricts the check to a subset (e.g. a finalized cut);
-        defaults to every event in the execution.
+        defaults to every event in the execution.  Either oracle flavor is
+        accepted — an incremental oracle is frozen, not rebuilt.
 
         The comparison is matrix-based: the scheme's full precedes-matrix
         (one packed-int row per event, built word-parallel when the scheme
@@ -193,6 +201,8 @@ class TimestampAssignment:
         """
         if oracle is None:
             oracle = HappenedBeforeOracle(self._execution)
+        else:
+            oracle = as_batch_oracle(oracle, self._execution)
         ids = (
             list(events)
             if events is not None
@@ -257,7 +267,7 @@ class TimestampAssignment:
 
     def validate_pairwise(
         self,
-        oracle: Optional[HappenedBeforeOracle] = None,
+        oracle: Optional[AnyOracle] = None,
         events: Optional[Sequence[EventId]] = None,
     ) -> ValidationReport:
         """Pairwise reference implementation of :meth:`validate`.
@@ -267,6 +277,8 @@ class TimestampAssignment:
         """
         if oracle is None:
             oracle = HappenedBeforeOracle(self._execution)
+        else:
+            oracle = as_batch_oracle(oracle, self._execution)
         ids = (
             list(events)
             if events is not None

@@ -10,6 +10,11 @@ from repro.core.events import (
 )
 from repro.core.execution import Execution, ExecutionBuilder, ExecutionError
 from repro.core.happened_before import HappenedBeforeOracle, downward_closure
+from repro.core.incremental import (
+    IncrementalHBOracle,
+    as_batch_oracle,
+    incremental_from_execution,
+)
 from repro.core.random_executions import random_execution
 from repro.core.trace import (
     execution_from_dict,
@@ -42,7 +47,10 @@ __all__ = [
     "ExecutionBuilder",
     "ExecutionError",
     "HappenedBeforeOracle",
+    "IncrementalHBOracle",
+    "as_batch_oracle",
     "downward_closure",
+    "incremental_from_execution",
     "Cut",
     "cut_from_events",
     "cut_size",

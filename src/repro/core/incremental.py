@@ -1,0 +1,439 @@
+"""Incremental happened-before oracle: streaming O(Δ) appends.
+
+The batch :class:`~repro.core.happened_before.HappenedBeforeOracle` is
+constructed over a *completed* execution, so every online consumer — the
+Section-6 application detectors, the simulator's invariant checks — used to
+rebuild the full O(|E|²)-bit causal-past matrix from scratch whenever it
+needed an answer mid-run.  :class:`IncrementalHBOracle` maintains the same
+packed-int causal-past rows *as events are appended*:
+
+- ``append_local`` / ``append_send`` extend one row by copying the process's
+  running mask (amortized O(row-words) big-int work);
+- ``append_receive`` additionally ORs in the matching send's row — the same
+  word-parallel recurrence the batch kernel uses, applied once per event
+  instead of once per rebuild;
+- row storage grows in fixed-size *chunks* of bit-indices handed to each
+  process on demand, so no append ever re-indexes or rebuilds existing rows.
+
+Because causal pasts are append-monotone (appending an event never changes
+the row of an existing event), every answer the oracle gives online is
+*final* — exactly why conflict/predicate detection can act on it while the
+execution is still running.
+
+On top of the rows sits a memoized batch-query layer: ``precedes`` /
+``concurrent`` / ``causal_past`` / ``causal_frontier`` / ``relation_counts``
+results are cached in a small LRU that is invalidated wholesale whenever the
+append watermark moves, so repeated queries between appends (the detector
+polling pattern) cost one dict hit.
+
+``freeze(execution)`` converts the chunked rows to the batch oracle's
+process-major dense indexing (a block-wise bit permutation, one pass) and
+returns a genuine :class:`HappenedBeforeOracle` whose rows, vector clocks,
+and query answers are byte-identical to one built from scratch over the
+completed execution — pinned by ``tests/core/test_incremental_oracle.py``.
+
+Observability (:mod:`repro.obs`): ``oracle.appends``, ``oracle.append_words``
+(big-int words touched by appends), and ``oracle.query_cache_hit`` /
+``oracle.query_cache_miss`` counters on the registry active at construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.core.events import Event, EventId, ProcessId
+from repro.core.execution import Execution
+from repro.core.happened_before import HappenedBeforeOracle
+from repro.obs.metrics import MetricsRegistry, active_registry
+
+#: sentinel distinguishing "cached None" from "absent"
+_MISS = object()
+
+#: either oracle flavor — helpers below coerce to the batch one when needed
+AnyOracle = Union[HappenedBeforeOracle, "IncrementalHBOracle"]
+
+
+class IncrementalHBOracle:
+    """Happened-before oracle maintained event-by-event while a run streams.
+
+    Parameters
+    ----------
+    n_processes:
+        Number of processes (fixed up front, like every clock algorithm).
+    chunk:
+        Bit-indices handed to a process per allocation.  Larger chunks mean
+        fewer, cheaper ``freeze`` permutation segments; smaller chunks waste
+        fewer trailing bits on short processes.  The default (64) aligns
+        with CPython's 2³⁰-digit limbs well enough in practice.
+    cache_size:
+        Maximum entries in the memoized query LRU.
+    registry:
+        Metrics registry for the ``oracle.*`` instruments; defaults to the
+        registry active at construction time.
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        *,
+        chunk: int = 64,
+        cache_size: int = 1024,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("need at least one process")
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self._n = n_processes
+        self._chunk = chunk
+        #: strict causal-past bitmask per slot (chunk-granular allocation)
+        self._rows: List[int] = []
+        #: slot -> owning EventId (None for not-yet-used slots of a chunk)
+        self._slot_eid: List[Optional[EventId]] = []
+        #: per process: base slot of each chunk allocated to it, in order
+        self._chunks: List[List[int]] = [[] for _ in range(n_processes)]
+        #: events appended so far per process
+        self._counts: List[int] = [0] * n_processes
+        #: running mask per process: strict past of its *next* event
+        self._proc_mask: List[int] = [0] * n_processes
+        self._proc_clock: List[List[int]] = [
+            [0] * n_processes for _ in range(n_processes)
+        ]
+        self._vc: Dict[EventId, Tuple[int, ...]] = {}
+        #: running popcount of all rows — makes relation_counts O(1)
+        self._ordered_pairs = 0
+        self._watermark = 0
+        self._cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._cache_size = cache_size
+        self._cache_watermark = 0
+        reg = registry if registry is not None else active_registry()
+        self._m_appends = reg.counter("oracle.appends")
+        self._m_append_words = reg.counter("oracle.append_words")
+        self._m_cache_hit = reg.counter("oracle.query_cache_hit")
+        self._m_cache_miss = reg.counter("oracle.query_cache_miss")
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_processes(self) -> int:
+        return self._n
+
+    @property
+    def n_events(self) -> int:
+        """Events appended so far."""
+        return self._watermark
+
+    @property
+    def watermark(self) -> int:
+        """Monotone append counter; bumping it invalidates the query cache."""
+        return self._watermark
+
+    def event_count(self, proc: ProcessId) -> int:
+        """Events appended at *proc* so far."""
+        return self._counts[proc]
+
+    def __contains__(self, eid: EventId) -> bool:
+        return 0 <= eid.proc < self._n and eid.index <= self._counts[eid.proc]
+
+    def _slot_of(self, eid: EventId) -> int:
+        i = eid.index - 1
+        if not 0 <= eid.proc < self._n or not 0 <= i < self._counts[eid.proc]:
+            raise KeyError(f"{eid} has not been appended")
+        return self._chunks[eid.proc][i // self._chunk] + i % self._chunk
+
+    # ------------------------------------------------------------------
+    # appends — the O(Δ) streaming surface
+    # ------------------------------------------------------------------
+    def _append(
+        self,
+        eid: EventId,
+        extra_mask: int = 0,
+        send_vc: Optional[Tuple[int, ...]] = None,
+    ) -> int:
+        p = eid.proc
+        if not 0 <= p < self._n:
+            raise ValueError(f"process {p} out of range [0, {self._n})")
+        if eid.index != self._counts[p] + 1:
+            raise ValueError(
+                f"out-of-order append: expected index {self._counts[p] + 1} "
+                f"at p{p}, got {eid.index}"
+            )
+        i = self._counts[p]
+        if i % self._chunk == 0:
+            # hand this process a fresh chunk at the top of the slot space
+            base = len(self._rows)
+            self._chunks[p].append(base)
+            self._rows.extend([0] * self._chunk)
+            self._slot_eid.extend([None] * self._chunk)
+        slot = self._chunks[p][i // self._chunk] + i % self._chunk
+        mask = self._proc_mask[p] | extra_mask
+        clock = self._proc_clock[p]
+        if send_vc is not None:
+            for k in range(self._n):
+                if send_vc[k] > clock[k]:
+                    clock[k] = send_vc[k]
+        clock[p] += 1
+        self._rows[slot] = mask
+        self._slot_eid[slot] = eid
+        self._proc_mask[p] = mask | (1 << slot)
+        self._counts[p] = eid.index
+        self._vc[eid] = tuple(clock)
+        self._ordered_pairs += mask.bit_count()
+        self._watermark += 1
+        self._m_appends.inc()
+        self._m_append_words.inc((mask.bit_length() >> 6) + 1)
+        return slot
+
+    def append_local(self, eid: EventId) -> None:
+        """Record a local event.  Must be the next index at its process."""
+        self._append(eid)
+
+    def append_send(self, eid: EventId) -> None:
+        """Record a send event (causally identical to a local step)."""
+        self._append(eid)
+
+    def append_receive(self, eid: EventId, send: EventId) -> None:
+        """Record the receive matching the already-appended *send*."""
+        sslot = self._slot_of(send)
+        extra = self._rows[sslot] | (1 << sslot)
+        self._append(eid, extra_mask=extra, send_vc=self._vc[send])
+
+    def append_event(
+        self, ev: Event, send: Optional[EventId] = None
+    ) -> None:
+        """Dispatch on the event kind; receives require the matching *send*."""
+        if ev.is_receive:
+            if send is None:
+                raise ValueError(f"receive {ev.eid} needs its send event id")
+            self.append_receive(ev.eid, send)
+        else:
+            self._append(ev.eid)
+
+    def ingest(self, execution: Execution) -> "IncrementalHBOracle":
+        """Stream a completed execution through the append path.
+
+        Events are fed in ``delivery_order()`` (any causally consistent
+        order yields identical rows).  Returns ``self`` for chaining.
+        """
+        for ev in execution.delivery_order():
+            if ev.is_receive:
+                self.append_receive(ev.eid, execution.send_of(ev).eid)
+            else:
+                self._append(ev.eid)
+        return self
+
+    # ------------------------------------------------------------------
+    # raw point queries (uncached: each is a bit test)
+    # ------------------------------------------------------------------
+    def happened_before(self, e: EventId, f: EventId) -> bool:
+        """Whether ``e -> f``.  Final the moment both events are appended."""
+        return bool(self._rows[self._slot_of(f)] >> self._slot_of(e) & 1)
+
+    def leq(self, e: EventId, f: EventId) -> bool:
+        """Whether ``e == f`` or ``e -> f``."""
+        return e == f or self.happened_before(e, f)
+
+    def vector_clock(self, eid: EventId) -> Tuple[int, ...]:
+        """The ground-truth full-length vector clock of *eid*."""
+        return self._vc[eid]
+
+    # ------------------------------------------------------------------
+    # memoized batch-query layer
+    # ------------------------------------------------------------------
+    def _cached(self, key: tuple, compute):
+        if self._cache_watermark != self._watermark:
+            # every append can extend causal pasts — drop the whole cache
+            self._cache.clear()
+            self._cache_watermark = self._watermark
+        hit = self._cache.get(key, _MISS)
+        if hit is not _MISS:
+            self._cache.move_to_end(key)
+            self._m_cache_hit.inc()
+            return hit
+        self._m_cache_miss.inc()
+        value = compute()
+        self._cache[key] = value
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return value
+
+    def precedes(self, e: EventId, f: EventId) -> bool:
+        """Memoized ``e -> f`` (the detector polling pattern hits cache)."""
+        return self._cached(
+            ("hb", e, f), lambda: self.happened_before(e, f)
+        )
+
+    def concurrent(self, e: EventId, f: EventId) -> bool:
+        """Whether *e* and *f* are distinct and causally unordered."""
+        key = ("conc", e, f) if e <= f else ("conc", f, e)
+        return self._cached(
+            key,
+            lambda: e != f
+            and not self.happened_before(e, f)
+            and not self.happened_before(f, e),
+        )
+
+    def causal_past(self, f: EventId) -> Set[EventId]:
+        """All appended events ``e`` with ``e -> f``."""
+        return set(self._cached(("past", f), lambda: self._decode_past(f)))
+
+    def _decode_past(self, f: EventId) -> Tuple[EventId, ...]:
+        return tuple(self._events_from_mask(self._rows[self._slot_of(f)]))
+
+    def causal_frontier(self, events: Iterable[EventId]) -> List[EventId]:
+        """Maximal events of the downward closure of *events*.
+
+        The smallest causally-closed set containing *events* is a union of
+        causal pasts; its maximal elements — the frontier a consistent
+        snapshot would cut along — are the members not in any member's
+        strict past (one row-OR per seed event, word-parallel).
+        """
+        key = ("frontier", tuple(sorted(events)))
+        return list(self._cached(key, lambda: self._compute_frontier(key[1])))
+
+    def _compute_frontier(
+        self, events: Tuple[EventId, ...]
+    ) -> Tuple[EventId, ...]:
+        closure = 0
+        for f in events:
+            slot = self._slot_of(f)
+            closure |= self._rows[slot] | (1 << slot)
+        dominated = 0
+        mask = closure
+        while mask:
+            lsb = mask & -mask
+            dominated |= self._rows[lsb.bit_length() - 1]
+            mask ^= lsb
+        return tuple(self._events_from_mask(closure & ~dominated))
+
+    def relation_counts(self) -> Tuple[int, int]:
+        """``(ordered_pairs, concurrent_unordered_pairs)`` so far.
+
+        The ordered-pair popcount is maintained at append time, so this is
+        O(1) arithmetic — no row scan.
+        """
+        m = self._watermark
+        return self._ordered_pairs, m * (m - 1) // 2 - self._ordered_pairs
+
+    def _events_from_mask(self, mask: int) -> List[EventId]:
+        """Decode a slot mask, ordered by (process, index) for determinism."""
+        out: List[EventId] = []
+        slot_eid = self._slot_eid
+        while mask:
+            lsb = mask & -mask
+            eid = slot_eid[lsb.bit_length() - 1]
+            assert eid is not None  # set bits always denote appended events
+            out.append(eid)
+            mask ^= lsb
+        out.sort()
+        return out
+
+    def cache_info(self) -> Dict[str, int]:
+        """Current cache occupancy (hits/misses live on the registry)."""
+        return {
+            "entries": len(self._cache),
+            "capacity": self._cache_size,
+            "watermark": self._cache_watermark,
+        }
+
+    # ------------------------------------------------------------------
+    # freeze: hand over to the batch oracle, byte-identically
+    # ------------------------------------------------------------------
+    def freeze(self, execution: Execution) -> HappenedBeforeOracle:
+        """A batch oracle over *execution*, reusing the incremental rows.
+
+        *execution* must be the completed execution whose events were
+        streamed in (same per-process counts).  The chunked rows are
+        permuted block-wise into the batch oracle's process-major dense
+        indexing — O(chunks) big-int shifts per row, never a recompute —
+        and the result is indistinguishable from
+        ``HappenedBeforeOracle(execution)``: identical ``past_masks()``,
+        ``event_order``, vector clocks, and query answers.
+        """
+        if execution.n_processes != self._n:
+            raise ValueError(
+                f"execution has {execution.n_processes} processes, "
+                f"oracle was built for {self._n}"
+            )
+        for p in range(self._n):
+            have = self._counts[p]
+            want = len(execution.events_at(p))
+            if have != want:
+                raise ValueError(
+                    f"process {p}: oracle saw {have} events, "
+                    f"execution has {want}"
+                )
+        # process-major target offsets (the batch oracle's _proc_base)
+        bases: List[int] = []
+        offset = 0
+        for p in range(self._n):
+            bases.append(offset)
+            offset += self._counts[p]
+        # permutation segments: each allocated chunk is one contiguous run
+        segments: List[Tuple[int, int, int]] = []  # (src_base, sel_mask, dst)
+        for p in range(self._n):
+            for c, src in enumerate(self._chunks[p]):
+                length = min(self._chunk, self._counts[p] - c * self._chunk)
+                segments.append(
+                    (src, (1 << length) - 1, bases[p] + c * self._chunk)
+                )
+
+        def remap(row: int) -> int:
+            out = 0
+            for src, sel, dst in segments:
+                bits = (row >> src) & sel
+                if bits:
+                    out |= bits << dst
+            return out
+
+        rows = self._rows
+        chunk = self._chunk
+        past: List[int] = []
+        for p in range(self._n):
+            cbases = self._chunks[p]
+            for i in range(self._counts[p]):
+                past.append(remap(rows[cbases[i // chunk] + i % chunk]))
+        return HappenedBeforeOracle.from_parts(execution, past, self._vc)
+
+
+def as_batch_oracle(
+    oracle: AnyOracle, execution: Execution
+) -> HappenedBeforeOracle:
+    """Coerce either oracle flavor to the batch one.
+
+    Batch oracles pass through; incremental oracles are frozen against
+    *execution*.  This is what lets validation and application entry points
+    accept whichever flavor the caller already has.
+    """
+    if isinstance(oracle, IncrementalHBOracle):
+        return oracle.freeze(execution)
+    return oracle
+
+
+def incremental_from_execution(
+    execution: Execution,
+    *,
+    chunk: int = 64,
+    cache_size: int = 1024,
+    registry: Optional[MetricsRegistry] = None,
+) -> IncrementalHBOracle:
+    """Convenience: stream a completed execution into a fresh oracle."""
+    oracle = IncrementalHBOracle(
+        execution.n_processes,
+        chunk=chunk,
+        cache_size=cache_size,
+        registry=registry,
+    )
+    return oracle.ingest(execution)

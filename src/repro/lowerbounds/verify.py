@@ -19,6 +19,7 @@ from repro.clocks.base import standard_vector_rows
 from repro.core.events import EventId
 from repro.core.execution import Execution
 from repro.core.happened_before import HappenedBeforeOracle
+from repro.core.incremental import AnyOracle, as_batch_oracle
 from repro.obs.metrics import active_registry
 
 
@@ -72,16 +73,20 @@ class VectorAssignmentReport:
 def check_vector_assignment(
     execution: Execution,
     vectors: Dict[EventId, Tuple[float, ...]],
-    oracle: Optional[HappenedBeforeOracle] = None,
+    oracle: Optional[AnyOracle] = None,
     stop_at_first: bool = False,
 ) -> VectorAssignmentReport:
     """Exhaustively verify an online vector assignment.
 
     *vectors* must cover every event of the execution.  Violations are
-    reported in a deterministic order (event-id major).
+    reported in a deterministic order (event-id major).  Either oracle
+    flavor is accepted; an incremental oracle built alongside the run is
+    frozen into the batch view instead of recomputing causal pasts.
     """
     if oracle is None:
         oracle = HappenedBeforeOracle(execution)
+    else:
+        oracle = as_batch_oracle(oracle, execution)
     ids = [ev.eid for ev in execution.all_events()]
     missing = [e for e in ids if e not in vectors]
     if missing:

@@ -68,6 +68,11 @@ def _full_name(name: str, labels: Mapping[str, Any]) -> str:
     """Canonical instrument key: ``name{k=v,...}`` with sorted labels."""
     if not labels:
         return name
+    if len(labels) == 1:
+        # a single label needs no sort/join machinery; this is the common
+        # hot-path shape (e.g. per-clock instruments resolved per event)
+        k, v = next(iter(labels.items()))
+        return f"{name}{{{k}={v}}}"
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
@@ -132,8 +137,12 @@ class Histogram:
         self.counts[bisect_left(self.edges, v)] += 1
         self.sum += v
         self.count += 1
-        self.min = v if self.min is None else min(self.min, v)
-        self.max = v if self.max is None else max(self.max, v)
+        mn = self.min
+        if mn is None or v < mn:
+            self.min = v
+        mx = self.max
+        if mx is None or v > mx:
+            self.max = v
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.edges) + 1)

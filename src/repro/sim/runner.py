@@ -44,6 +44,8 @@ from repro.clocks.base import ClockAlgorithm, ControlMessage
 from repro.clocks.replay import TimestampAssignment
 from repro.core.events import Event, EventId, MessageId, ProcessId
 from repro.core.execution import Execution, ExecutionBuilder
+from repro.core.happened_before import HappenedBeforeOracle
+from repro.core.incremental import IncrementalHBOracle
 from repro.faults.models import DELIVER, FaultModel
 from repro.obs.metrics import (
     BYTE_BUCKETS,
@@ -124,6 +126,20 @@ class SimulationResult:
     #: the run's metrics registry (see :mod:`repro.obs`): per-clock
     #: finalization-delay histograms, piggyback sizes, transport counters
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: the streaming causality oracle fed during the run (``online_oracle``)
+    online_oracle: Optional[IncrementalHBOracle] = None
+
+    def hb_oracle(self) -> HappenedBeforeOracle:
+        """Ground-truth batch oracle for the run's execution.
+
+        With ``online_oracle=True`` this *freezes* the incrementally
+        maintained rows (a block permutation, no rebuild); otherwise it
+        falls back to the from-scratch batch construction.  Either way the
+        result is byte-identical.
+        """
+        if self.online_oracle is not None:
+            return self.online_oracle.freeze(self.execution)
+        return HappenedBeforeOracle(self.execution)
 
     def finalization_latencies(self, name: str) -> Dict[EventId, float]:
         """Virtual-time lag from event occurrence to a permanent timestamp.
@@ -191,6 +207,13 @@ class Simulation:
         (per-clock finalization-delay histograms, piggyback sizes,
         transport and fault counters); a fresh registry is created when
         omitted.  Either way it is returned as ``SimulationResult.metrics``.
+    online_oracle:
+        Stream every event into an
+        :class:`~repro.core.incremental.IncrementalHBOracle` *during* the
+        run (O(Δ) per event).  Online consumers — predicate and
+        concurrent-update detectors — can query it mid-run through
+        workload hooks, and ``SimulationResult.hb_oracle()`` freezes it
+        into the batch oracle without the post-hoc O(|E|²) rebuild.
     """
 
     def __init__(
@@ -207,6 +230,7 @@ class Simulation:
         fault_model: Optional[FaultModel] = None,
         control_retry: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        online_oracle: bool = False,
     ) -> None:
         self._graph = graph
         self._seed = seed
@@ -234,6 +258,7 @@ class Simulation:
             )
         self._control_retry = control_retry
         self._metrics = metrics
+        self._online_oracle = online_oracle
         self._check_fifo_compatibility()
         self._ran = False
 
@@ -289,6 +314,15 @@ class Simulation:
     def now(self) -> float:
         return self._scheduler.now
 
+    @property
+    def oracle(self) -> Optional[IncrementalHBOracle]:
+        """The live streaming oracle (``online_oracle=True`` runs only).
+
+        Workload hooks may query it at any point during the run; every
+        answer about already-appended events is final.
+        """
+        return self._oracle
+
     def schedule(self, delay: float, fn) -> None:
         self._scheduler.after(delay, fn)
 
@@ -300,6 +334,8 @@ class Simulation:
         ev = self._builder.local(proc)
         self._event_times[ev.eid] = self.now
         self._event_seq[ev.eid] = len(self._event_seq)
+        if self._oracle is not None:
+            self._oracle.append_local(ev.eid)
         for i, algo in enumerate(self._algos):
             algo.on_local(ev)
             self._drain(i)
@@ -317,6 +353,8 @@ class Simulation:
         ev = self._builder.last_event(src)
         self._event_times[ev.eid] = self.now
         self._event_seq[ev.eid] = len(self._event_seq)
+        if self._oracle is not None:
+            self._oracle.append_send(ev.eid)
         # Decide the message's fate *before* touching pending piggybacked
         # controls: controls whose carrier is dropped must stay queued for
         # the next carrier, not vanish silently.
@@ -334,15 +372,10 @@ class Simulation:
             self._payloads[i][msg_id] = payload
             n_elems = algo.payload_elements(payload)
             self._stats[i].app_payload_elements += n_elems
-            name = self._names[i]
-            self._reg.histogram(
-                "clock.piggyback_elements", clock=name
-            ).observe(n_elems)
+            self._h_piggy_elems[i].observe(n_elems)
             # 8-byte integers per scalar element — the same accounting the
             # Theorem 4.3 bit model coarsens, but per message, live.
-            self._reg.histogram(
-                "clock.piggyback_bytes", buckets=BYTE_BUCKETS, clock=name
-            ).observe(8 * n_elems)
+            self._h_piggy_bytes[i].observe(8 * n_elems)
             self._drain(i)
             if self._transport is ControlTransport.PIGGYBACK and not dropped:
                 piggyback.append(self._pending_controls[i].pop((src, dst), None))
@@ -406,6 +439,8 @@ class Simulation:
         recv = self._builder.receive(msg.dst, msg_id)
         self._event_times[recv.eid] = self.now
         self._event_seq[recv.eid] = len(self._event_seq)
+        if self._oracle is not None:
+            self._oracle.append_receive(recv.eid, msg.send_event)
         for i, algo in enumerate(self._algos):
             payload = self._payloads[i].pop(msg_id)
             controls = algo.on_receive(recv, payload)
@@ -507,13 +542,8 @@ class Simulation:
         newly = self._algos[algo_idx].drain_newly_finalized()
         if not newly:
             return
-        name = self._names[algo_idx]
-        delay_events = self._reg.histogram(
-            "clock.finalization_delay_events", clock=name
-        )
-        delay_vtime = self._reg.histogram(
-            "clock.finalization_delay_vtime", buckets=VTIME_BUCKETS, clock=name
-        )
+        delay_events = self._h_delay_events[algo_idx]
+        delay_vtime = self._h_delay_vtime[algo_idx]
         n_seen = len(self._event_seq)
         for eid in newly:
             self._finalization_times[algo_idx][eid] = self.now
@@ -558,6 +588,40 @@ class Simulation:
         self._event_times: Dict[EventId, float] = {}
         self._event_seq: Dict[EventId, int] = {}
         self._reg = self._metrics if self._metrics is not None else MetricsRegistry()
+        self._oracle = (
+            IncrementalHBOracle(self._graph.n_vertices, registry=self._reg)
+            if self._online_oracle
+            else None
+        )
+        # Per-event instrumentation handles, resolved once: the observe
+        # paths below run for every event × algorithm, and re-resolving an
+        # instrument by name (label formatting + dict lookup) per call is
+        # measurable overhead at that frequency (see the ``metrics_overhead``
+        # section of tools/bench_snapshot.py).
+        self._h_piggy_elems = [
+            self._reg.histogram("clock.piggyback_elements", clock=name)
+            for name in self._names
+        ]
+        self._h_piggy_bytes = [
+            self._reg.histogram(
+                "clock.piggyback_bytes", buckets=BYTE_BUCKETS, clock=name
+            )
+            for name in self._names
+        ]
+        self._h_delay_events = [
+            self._reg.histogram(
+                "clock.finalization_delay_events", clock=name
+            )
+            for name in self._names
+        ]
+        self._h_delay_vtime = [
+            self._reg.histogram(
+                "clock.finalization_delay_vtime",
+                buckets=VTIME_BUCKETS,
+                clock=name,
+            )
+            for name in self._names
+        ]
         self._finalization_times: List[Dict[EventId, float]] = [
             dict() for _ in self._algos
         ]
@@ -636,6 +700,7 @@ class Simulation:
             piggyback_controls_retained=self._retained_piggyback,
             crash_checkpoints=self._crash_checkpoints,
             metrics=self._reg,
+            online_oracle=self._oracle,
         )
 
     def _record_run_metrics(

@@ -33,7 +33,7 @@ class TimerHandle:
     def cancel(self) -> None:
         if not self._cancelled:
             self._cancelled = True
-            self._scheduler._cancelled_pending += 1
+            self._scheduler._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -49,6 +49,7 @@ class EventScheduler:
         self._now = 0.0
         self._steps = 0
         self._cancelled_pending = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -63,6 +64,33 @@ class EventScheduler:
     @property
     def steps_executed(self) -> int:
         return self._steps
+
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, cancelled entries included."""
+        return len(self._heap)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted."""
+        return self._compactions
+
+    def _note_cancel(self) -> None:
+        self._cancelled_pending += 1
+        # Lazy cancellation leaves dead entries queued; workloads that cancel
+        # most of what they schedule (retransmission timers under a reliable
+        # transport that mostly succeeds) would otherwise grow the heap — and
+        # every push/pop's O(log n) — with garbage.  Rebuild once the
+        # majority of entries are dead: O(live) now, amortized O(1) per
+        # cancel, and `pending` stays exact throughout.
+        if self._cancelled_pending > len(self._heap) // 2:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e[3].cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
+        self._compactions += 1
 
     def at(self, time: float, fn: Callback) -> TimerHandle:
         """Schedule *fn* at absolute virtual time *time*."""

@@ -1,0 +1,396 @@
+"""Tests for the streaming incremental happened-before oracle.
+
+The load-bearing property is byte-identity: an
+:class:`IncrementalHBOracle` fed event-by-event, then frozen, must be
+indistinguishable from a :class:`HappenedBeforeOracle` built over the
+completed execution — rows, event order, vector clocks, and every query.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    HappenedBeforeOracle,
+    IncrementalHBOracle,
+    as_batch_oracle,
+    incremental_from_execution,
+)
+from repro.core.events import EventId
+from repro.core.random_executions import random_execution
+from repro.obs.metrics import MetricsRegistry
+from repro.topology import generators
+
+
+def assert_byte_identical(inc, execution):
+    """Frozen incremental oracle vs from-scratch batch oracle."""
+    frozen = inc.freeze(execution)
+    batch = HappenedBeforeOracle(execution)
+    assert frozen.event_order == batch.event_order
+    assert frozen.past_masks() == batch.past_masks()
+    assert frozen.relation_counts() == batch.relation_counts()
+    for ev in execution.all_events():
+        assert frozen.vector_clock(ev.eid) == batch.vector_clock(ev.eid)
+    return frozen, batch
+
+
+class TestAppendBasics:
+    def test_hand_built_execution(self, small_star_execution):
+        ex = small_star_execution
+        inc = incremental_from_execution(ex)
+        batch = HappenedBeforeOracle(ex)
+        ids = [ev.eid for ev in ex.all_events()]
+        for e in ids:
+            for f in ids:
+                if e != f:
+                    assert inc.happened_before(e, f) == \
+                        batch.happened_before(e, f)
+            assert inc.vector_clock(e) == batch.vector_clock(e)
+        assert inc.relation_counts() == batch.relation_counts()
+        assert inc.n_events == ex.n_events
+
+    def test_answers_are_final_as_stream_grows(self, small_star_execution):
+        # append-monotonicity: answers about already-appended events never
+        # change as more events arrive
+        ex = small_star_execution
+        inc = IncrementalHBOracle(ex.n_processes)
+        decided = {}
+        seen = []
+        for ev in ex.delivery_order():
+            if ev.is_receive:
+                inc.append_receive(ev.eid, ex.send_of(ev).eid)
+            else:
+                inc.append_event(ev)
+            seen.append(ev.eid)
+            for e in seen:
+                for f in seen:
+                    if e == f:
+                        continue
+                    ans = inc.happened_before(e, f)
+                    if (e, f) in decided:
+                        assert decided[e, f] == ans, (e, f)
+                    decided[e, f] = ans
+        batch = HappenedBeforeOracle(ex)
+        for (e, f), ans in decided.items():
+            assert batch.happened_before(e, f) == ans
+
+    def test_event_count_and_contains(self, small_star_execution):
+        ex = small_star_execution
+        inc = incremental_from_execution(ex)
+        for p in range(ex.n_processes):
+            assert inc.event_count(p) == len(ex.events_at(p))
+        assert EventId(0, 1) in inc
+        assert EventId(0, 99) not in inc
+        assert EventId(99, 1) not in inc
+
+    def test_out_of_order_append_rejected(self):
+        inc = IncrementalHBOracle(2)
+        inc.append_local(EventId(0, 1))
+        with pytest.raises(ValueError, match="out-of-order"):
+            inc.append_local(EventId(0, 3))
+        with pytest.raises(ValueError, match="out of range"):
+            inc.append_local(EventId(5, 1))
+
+    def test_receive_requires_appended_send(self):
+        inc = IncrementalHBOracle(2)
+        with pytest.raises(KeyError):
+            inc.append_receive(EventId(1, 1), EventId(0, 1))
+
+    def test_append_event_dispatch_needs_send(self, small_star_execution):
+        ex = small_star_execution
+        inc = IncrementalHBOracle(ex.n_processes)
+        recv = next(ev for ev in ex.delivery_order() if ev.is_receive)
+        with pytest.raises(ValueError, match="needs its send"):
+            inc.append_event(recv)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            IncrementalHBOracle(0)
+        with pytest.raises(ValueError):
+            IncrementalHBOracle(2, chunk=0)
+        with pytest.raises(ValueError):
+            IncrementalHBOracle(2, cache_size=0)
+
+
+class TestChunkGrowth:
+    def test_growth_across_many_chunks(self):
+        # chunk=4 forces repeated chunk allocation; answers must be exact
+        # regardless of where slots land
+        g = generators.star(5)
+        ex = random_execution(g, random.Random(2), steps=120,
+                              deliver_all=True)
+        inc = IncrementalHBOracle(5, chunk=4).ingest(ex)
+        assert_byte_identical(inc, ex)
+
+    @pytest.mark.parametrize("chunk", [1, 3, 64, 1000])
+    def test_chunk_size_is_invisible(self, chunk):
+        g = generators.star(4)
+        ex = random_execution(g, random.Random(9), steps=50,
+                              deliver_all=True)
+        inc = IncrementalHBOracle(4, chunk=chunk).ingest(ex)
+        assert_byte_identical(inc, ex)
+
+
+class TestQueryCache:
+    def test_hit_miss_counters(self, small_star_execution):
+        reg = MetricsRegistry()
+        inc = incremental_from_execution(small_star_execution, registry=reg)
+        e, f = EventId(1, 1), EventId(0, 1)
+        inc.precedes(e, f)
+        assert reg.counter_value("oracle.query_cache_miss") == 1
+        assert reg.counter_value("oracle.query_cache_hit") == 0
+        inc.precedes(e, f)
+        assert reg.counter_value("oracle.query_cache_hit") == 1
+
+    def test_append_invalidates_cache(self, small_star_execution):
+        ex = small_star_execution
+        reg = MetricsRegistry()
+        inc = IncrementalHBOracle(ex.n_processes, registry=reg)
+        order = ex.delivery_order()
+        for ev in order[:-1]:
+            if ev.is_receive:
+                inc.append_receive(ev.eid, ex.send_of(ev).eid)
+            else:
+                inc.append_event(ev)
+        e, f = EventId(1, 1), EventId(0, 1)
+        inc.precedes(e, f)
+        inc.precedes(e, f)
+        assert reg.counter_value("oracle.query_cache_hit") == 1
+        last = order[-1]
+        if last.is_receive:
+            inc.append_receive(last.eid, ex.send_of(last).eid)
+        else:
+            inc.append_event(last)
+        assert inc.cache_info()["watermark"] != inc.watermark
+        inc.precedes(e, f)  # cache dropped: this is a miss again
+        assert reg.counter_value("oracle.query_cache_miss") == 2
+        assert inc.cache_info()["watermark"] == inc.watermark
+
+    def test_lru_eviction_bounds_entries(self, small_star_execution):
+        ex = small_star_execution
+        inc = incremental_from_execution(ex, cache_size=4)
+        ids = [ev.eid for ev in ex.all_events()]
+        for e in ids:
+            for f in ids:
+                inc.precedes(e, f)
+        assert inc.cache_info()["entries"] <= 4
+
+    def test_cached_queries_match_raw(self, small_star_execution):
+        ex = small_star_execution
+        inc = incremental_from_execution(ex)
+        batch = HappenedBeforeOracle(ex)
+        ids = [ev.eid for ev in ex.all_events()]
+        for e in ids:
+            for f in ids:
+                assert inc.precedes(e, f) == batch.happened_before(e, f)
+                if e != f:
+                    expected = (not batch.happened_before(e, f)
+                                and not batch.happened_before(f, e))
+                    assert inc.concurrent(e, f) == expected
+        for f in ids:
+            expected_past = {
+                e for e in ids if batch.happened_before(e, f)
+            }
+            assert inc.causal_past(f) == expected_past
+
+    def test_causal_frontier(self, small_star_execution):
+        ex = small_star_execution
+        inc = incremental_from_execution(ex)
+        batch = HappenedBeforeOracle(ex)
+        ids = [ev.eid for ev in ex.all_events()]
+        rng = random.Random(4)
+        for _ in range(20):
+            seeds = rng.sample(ids, rng.randrange(1, 5))
+            frontier = inc.causal_frontier(seeds)
+            closure = set(seeds)
+            for f in seeds:
+                closure |= {e for e in ids if batch.happened_before(e, f)}
+            expected = sorted(
+                e for e in closure
+                if not any(batch.happened_before(e, f) for f in closure)
+            )
+            assert frontier == expected
+
+
+class TestFreeze:
+    def test_freeze_byte_identity(self):
+        g = generators.double_star(2, 3)
+        ex = random_execution(g, random.Random(5), steps=80,
+                              deliver_all=True)
+        inc = incremental_from_execution(ex, chunk=8)
+        assert_byte_identical(inc, ex)
+
+    def test_freeze_rejects_process_mismatch(self, small_star_execution):
+        inc = IncrementalHBOracle(3)
+        with pytest.raises(ValueError, match="processes"):
+            inc.freeze(small_star_execution)
+
+    def test_freeze_rejects_partial_stream(self, small_star_execution):
+        ex = small_star_execution
+        inc = IncrementalHBOracle(ex.n_processes)
+        order = ex.delivery_order()
+        for ev in order[: len(order) // 2]:
+            if ev.is_receive:
+                inc.append_receive(ev.eid, ex.send_of(ev).eid)
+            else:
+                inc.append_event(ev)
+        with pytest.raises(ValueError, match="oracle saw"):
+            inc.freeze(ex)
+
+    def test_from_parts_rejects_row_count_mismatch(
+        self, small_star_execution
+    ):
+        with pytest.raises(ValueError):
+            HappenedBeforeOracle.from_parts(small_star_execution, [0], {})
+
+    def test_as_batch_oracle_passthrough_and_freeze(
+        self, small_star_execution, small_oracle
+    ):
+        ex = small_star_execution
+        assert as_batch_oracle(small_oracle, ex) is small_oracle
+        inc = incremental_from_execution(ex)
+        frozen = as_batch_oracle(inc, ex)
+        assert isinstance(frozen, HappenedBeforeOracle)
+        assert frozen.past_masks() == small_oracle.past_masks()
+
+
+class TestPropertyEquivalence:
+    @given(seed=st.integers(0, 10_000), steps=st.integers(2, 80))
+    def test_streamed_equals_batch(self, seed, steps):
+        # stream a random execution event-by-event; rows, relation counts,
+        # and sampled precedes answers must match the batch oracle exactly
+        g = generators.star(5)
+        ex = random_execution(g, random.Random(seed), steps=steps)
+        inc = IncrementalHBOracle(5, chunk=4)
+        seen = []
+        rng = random.Random(seed + 1)
+        batch = HappenedBeforeOracle(ex)
+        for ev in ex.delivery_order():
+            if ev.is_receive:
+                inc.append_receive(ev.eid, ex.send_of(ev).eid)
+            else:
+                inc.append_event(ev)
+            seen.append(ev.eid)
+            # sampled mid-stream spot checks against the *final* batch
+            # oracle — valid because answers are append-monotone
+            for _ in range(3):
+                e = seen[rng.randrange(len(seen))]
+                f = seen[rng.randrange(len(seen))]
+                if e != f:
+                    assert inc.precedes(e, f) == batch.happened_before(e, f)
+        assert inc.relation_counts() == batch.relation_counts()
+        assert_byte_identical(inc, ex)
+
+    @given(seed=st.integers(0, 10_000))
+    def test_ingest_order_independence(self, seed):
+        # delivery_order is one causally consistent order; rows must not
+        # depend on which one was streamed.  Build a second order by a
+        # greedy topological merge biased differently.
+        g = generators.star(4)
+        ex = random_execution(g, random.Random(seed), steps=40,
+                              deliver_all=True)
+        inc_a = incremental_from_execution(ex)
+        order = ex.delivery_order()
+        # alternative causally consistent order: process receives as late
+        # as possible (stable sort by (is_receive, original position))
+        ready = sorted(
+            range(len(order)),
+            key=lambda i: (order[i].is_receive, i),
+        )
+        inc_b = IncrementalHBOracle(4)
+        appended = set()
+        pending = [order[i] for i in ready]
+        while pending:
+            progressed = False
+            rest = []
+            for ev in pending:
+                prev_ok = (ev.eid.index == 1
+                           or EventId(ev.eid.proc, ev.eid.index - 1)
+                           in appended)
+                send_ok = (not ev.is_receive
+                           or ex.send_of(ev).eid in appended)
+                if prev_ok and send_ok:
+                    if ev.is_receive:
+                        inc_b.append_receive(ev.eid, ex.send_of(ev).eid)
+                    else:
+                        inc_b.append_event(ev)
+                    appended.add(ev.eid)
+                    progressed = True
+                else:
+                    rest.append(ev)
+            assert progressed, "no causally consistent order found"
+            pending = rest
+        fa = inc_a.freeze(ex)
+        fb = inc_b.freeze(ex)
+        assert fa.past_masks() == fb.past_masks()
+        for ev in ex.all_events():
+            assert fa.vector_clock(ev.eid) == fb.vector_clock(ev.eid)
+
+
+class TestSimulationIntegration:
+    def _clocks(self, n):
+        from repro.clocks import VectorClock
+
+        return {"vector": VectorClock(n)}
+
+    def test_online_oracle_matches_posthoc(self):
+        from repro.sim import Simulation, UniformWorkload
+
+        n = 6
+        g = generators.star(n)
+        sim = Simulation(g, seed=4, clocks=self._clocks(n),
+                         online_oracle=True)
+        res = sim.run(UniformWorkload(events_per_process=20, p_local=0.3))
+        assert res.online_oracle is not None
+        frozen = res.hb_oracle()
+        batch = HappenedBeforeOracle(res.execution)
+        assert frozen.past_masks() == batch.past_masks()
+        assert frozen.event_order == batch.event_order
+
+    def test_online_oracle_under_crash_faults(self):
+        from repro.faults.models import CrashSchedule
+        from repro.sim import Simulation, UniformWorkload
+
+        n = 6
+        g = generators.star(n)
+        sim = Simulation(
+            g,
+            seed=11,
+            clocks=self._clocks(n),
+            fault_model=CrashSchedule({2: [(3.0, 9.0)], 4: [(5.0, 6.0)]}),
+            online_oracle=True,
+        )
+        res = sim.run(UniformWorkload(events_per_process=25, p_local=0.2))
+        frozen = res.hb_oracle()
+        batch = HappenedBeforeOracle(res.execution)
+        assert frozen.past_masks() == batch.past_masks()
+        assert frozen.relation_counts() == batch.relation_counts()
+
+    def test_online_oracle_under_loss_faults(self):
+        from repro.faults.models import GilbertElliottLoss
+        from repro.sim import Simulation, UniformWorkload
+
+        n = 5
+        g = generators.star(n)
+        sim = Simulation(
+            g,
+            seed=13,
+            clocks=self._clocks(n),
+            fault_model=GilbertElliottLoss(scope="control"),
+            online_oracle=True,
+        )
+        res = sim.run(UniformWorkload(events_per_process=15, p_local=0.2))
+        frozen = res.hb_oracle()
+        batch = HappenedBeforeOracle(res.execution)
+        assert frozen.past_masks() == batch.past_masks()
+
+    def test_off_by_default(self):
+        from repro.sim import Simulation, UniformWorkload
+
+        g = generators.star(4)
+        sim = Simulation(g, seed=1, clocks=self._clocks(4))
+        res = sim.run(UniformWorkload(events_per_process=5, p_local=0.3))
+        assert res.online_oracle is None
+        # hb_oracle still works: falls back to the batch construction
+        assert res.hb_oracle().event_order

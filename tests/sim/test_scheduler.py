@@ -140,3 +140,67 @@ class TestTimerCancellation:
         s.at(1.0, h.cancel)
         s.run()
         assert log == []
+
+
+class TestHeapCompaction:
+    def test_mass_cancellation_shrinks_heap(self):
+        s = EventScheduler()
+        handles = [s.at(float(i + 1), lambda: None) for i in range(100)]
+        assert s.heap_size == 100
+        for h in handles[:80]:
+            h.cancel()
+        # majority-dead heaps get rebuilt: the physical heap shrinks to the
+        # live entries plus at most a sub-majority residue of dead ones
+        assert s.compactions >= 1
+        assert s.pending == 20
+        assert s.heap_size < 100 // 2
+        assert (s.heap_size - s.pending) <= s.heap_size // 2
+
+    def test_compaction_threshold_is_majority(self):
+        s = EventScheduler()
+        handles = [s.at(float(i + 1), lambda: None) for i in range(10)]
+        for h in handles[:5]:
+            h.cancel()
+        # 5 dead of 10 is not a majority: no rebuild yet
+        assert s.compactions == 0
+        assert s.heap_size == 10
+        handles[5].cancel()
+        assert s.compactions == 1
+        assert s.heap_size == 4
+
+    def test_order_preserved_across_compaction(self):
+        s = EventScheduler()
+        log = []
+        keep = []
+        for i in range(50):
+            h = s.at(float(50 - i), lambda i=i: log.append(i))
+            if i % 5 == 0:
+                keep.append((50 - i, i))
+            else:
+                h.cancel()
+        assert s.compactions >= 1
+        s.run()
+        assert log == [i for _t, i in sorted(keep)]
+        assert s.pending == 0
+
+    def test_tie_order_preserved_across_compaction(self):
+        s = EventScheduler()
+        log = []
+        for i in range(8):
+            s.at(1.0, lambda i=i: log.append(i))
+        doomed = [s.at(2.0, lambda: None) for _ in range(20)]
+        for h in doomed:
+            h.cancel()
+        assert s.compactions >= 1
+        s.run()
+        assert log == list(range(8))  # insertion order kept at equal times
+
+    def test_cancel_during_run_can_compact(self):
+        s = EventScheduler()
+        doomed = [s.at(float(i + 10), lambda: None) for i in range(30)]
+        fired = []
+        s.at(1.0, lambda: ([h.cancel() for h in doomed], fired.append(True)))
+        s.run()
+        assert fired == [True]
+        assert s.compactions >= 1
+        assert s.pending == 0

@@ -27,6 +27,26 @@ class TestSimulate:
                    "--transport", "piggyback"])
         assert rc == 0
 
+    def test_online_oracle_flag(self, capsys):
+        rc = main(["simulate", "--n", "5", "--events", "8",
+                   "--online-oracle"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "online oracle:" in out
+        assert "appends" in out and "query cache" in out
+
+    def test_online_oracle_matches_default_validation(self, capsys):
+        # identical seed with and without the streaming oracle must print
+        # the identical validation table (the oracle flavors agree)
+        args = ["simulate", "--n", "5", "--events", "10",
+                "--clocks", "inline", "vector"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--online-oracle"]) == 0
+        online = capsys.readouterr().out
+        table = lambda s: s[s.index("clock"):]  # noqa: E731
+        assert table(plain) == table(online)
+
     def test_save_and_validate_trace(self, tmp_path, capsys):
         trace = str(tmp_path / "t.json")
         rc = main(["simulate", "--n", "5", "--events", "8",

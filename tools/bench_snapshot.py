@@ -13,16 +13,26 @@ Measures, with fixed seeds so runs are comparable:
   (skipped with ``--quick``).
 - **allocation** — tracemalloc peak while generating an execution and
   replaying a vector clock over it (the ``__slots__`` footprint).
+- **oracle_incremental** — streaming workload with a query batch every 50
+  events: the :class:`~repro.core.incremental.IncrementalHBOracle` answering
+  online vs rebuilding the batch oracle from the event prefix at every batch
+  (answers asserted identical), plus append-only throughput and cold/warm
+  query-cache latency.  Written to a separate ``BENCH_PR4.json`` snapshot
+  together with **metrics_overhead** (instrument resolve-per-call vs cached
+  handle on the histogram hot path).
 
 Usage::
 
     PYTHONPATH=src python tools/bench_snapshot.py                # full run
     PYTHONPATH=src python tools/bench_snapshot.py --quick \\
-        --check BENCH_PR2.json --max-regression 3                # CI smoke
+        --check BENCH_PR2.json --max-regression 3 \\
+        --min-incremental-speedup 1.0                            # CI smoke
 
-The default output path is ``BENCH_PR2.json`` in the repo root; ``--check``
-compares the kernel section against a baseline file and exits non-zero on
-a regression beyond ``--max-regression``.
+The default output paths are ``BENCH_PR2.json`` / ``BENCH_PR4.json`` in the
+repo root; ``--check`` compares the kernel section against a baseline file
+and exits non-zero on a regression beyond ``--max-regression``, and
+``--min-incremental-speedup`` fails the run when the streaming oracle does
+not beat rebuild-per-query-batch by the given factor.
 """
 
 from __future__ import annotations
@@ -42,6 +52,8 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.clocks import StarInlineClock, VectorClock, replay  # noqa: E402
 from repro.core import HappenedBeforeOracle  # noqa: E402
+from repro.core.execution import ExecutionBuilder  # noqa: E402
+from repro.core.incremental import IncrementalHBOracle  # noqa: E402
 from repro.core.random_executions import random_execution  # noqa: E402
 from repro.topology import generators  # noqa: E402
 
@@ -164,6 +176,179 @@ def bench_allocation() -> Dict[str, object]:
     }
 
 
+def _batch_frontier(oracle: HappenedBeforeOracle, seeds) -> list:
+    """Frontier on the batch oracle, word-parallel like the incremental one.
+
+    Kept here (not on the oracle) so the rebuild baseline pays the same
+    per-query cost as the streaming path — the benchmark then measures the
+    *rebuild*, not an implementation gap in the query itself.
+    """
+    masks = oracle.past_masks()
+    closure = 0
+    for f in seeds:
+        i = oracle.index_of(f)
+        closure |= masks[i] | (1 << i)
+    dominated = 0
+    m = closure
+    while m:
+        lsb = m & -m
+        dominated |= masks[lsb.bit_length() - 1]
+        m ^= lsb
+    order = oracle.event_order
+    out = []
+    m = closure & ~dominated
+    while m:
+        lsb = m & -m
+        out.append(order[lsb.bit_length() - 1])
+        m ^= lsb
+    out.sort()
+    return out
+
+
+def bench_oracle_incremental(quick: bool) -> Dict[str, object]:
+    """Streaming oracle vs rebuild-per-query-batch on one seeded workload."""
+    steps = 400 if quick else 2_400
+    query_every = 50
+    pairs_per_batch = 40
+    n = 16
+    graph = generators.star(n)
+    ex = random_execution(
+        graph, random.Random(23), steps=steps, deliver_all=True
+    )
+    order = ex.delivery_order()
+    dst = {
+        ev.eid: ex.receive_of(ev).eid.proc for ev in order if ev.is_send
+    }
+
+    # Query plan fixed up front so both contenders answer the *identical*
+    # batches: sampled precedes pairs plus one causal-frontier call over
+    # events appended so far.
+    rng = random.Random(31)
+    plan = []
+    for k in range(query_every, len(order) + 1, query_every):
+        seen = [ev.eid for ev in order[:k]]
+        pairs = [
+            (seen[rng.randrange(k)], seen[rng.randrange(k)])
+            for _ in range(pairs_per_batch)
+        ]
+        seeds = tuple(sorted({seen[rng.randrange(k)] for _ in range(6)}))
+        plan.append((k, pairs, seeds))
+
+    def run_incremental() -> list:
+        inc = IncrementalHBOracle(n)
+        answers = []
+        batch_iter = iter(plan)
+        nxt = next(batch_iter, None)
+        for i, ev in enumerate(order, 1):
+            if ev.is_receive:
+                inc.append_receive(ev.eid, ex.send_of(ev).eid)
+            elif ev.is_send:
+                inc.append_send(ev.eid)
+            else:
+                inc.append_local(ev.eid)
+            if nxt is not None and i == nxt[0]:
+                _k, pairs, seeds = nxt
+                answers.append([inc.precedes(e, f) for e, f in pairs])
+                answers.append(inc.causal_frontier(seeds))
+                nxt = next(batch_iter, None)
+        return answers
+
+    def run_rebuild() -> list:
+        answers = []
+        for k, pairs, seeds in plan:
+            builder = ExecutionBuilder(n)
+            msg_map = {}
+            for ev in order[:k]:
+                if ev.is_receive:
+                    builder.receive(ev.eid.proc, msg_map[ev.msg_id])
+                elif ev.is_send:
+                    msg_map[ev.msg_id] = builder.send(ev.eid.proc, dst[ev.eid])
+                else:
+                    builder.local(ev.eid.proc)
+            oracle = HappenedBeforeOracle(builder.freeze())
+            hb = oracle.happened_before
+            answers.append([hb(e, f) for e, f in pairs])
+            answers.append(_batch_frontier(oracle, seeds))
+        return answers
+
+    assert run_incremental() == run_rebuild(), (
+        "incremental answers diverge from rebuild-per-batch"
+    )
+    inc_s = _best_of(run_incremental, repeats=3)
+    rebuild_s = _best_of(run_rebuild, repeats=2)
+
+    def append_only() -> None:
+        inc = IncrementalHBOracle(n)
+        for ev in order:
+            if ev.is_receive:
+                inc.append_receive(ev.eid, ex.send_of(ev).eid)
+            elif ev.is_send:
+                inc.append_send(ev.eid)
+            else:
+                inc.append_local(ev.eid)
+
+    append_s = _best_of(append_only, repeats=3)
+
+    # cold vs warm query-cache latency on a frozen stream: the same batch of
+    # precedes calls, first resolving rows, then served from the LRU
+    inc = IncrementalHBOracle(n, cache_size=8_192).ingest(ex)
+    cold_pairs = [p for _k, pairs, _s in plan for p in pairs]
+    t0 = time.perf_counter()
+    cold_answers = [inc.precedes(e, f) for e, f in cold_pairs]
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_answers = [inc.precedes(e, f) for e, f in cold_pairs]
+    warm_s = time.perf_counter() - t0
+    assert cold_answers == warm_answers
+
+    return {
+        "n_events": ex.n_events,
+        "query_every": query_every,
+        "n_query_batches": len(plan),
+        "pairs_per_batch": pairs_per_batch,
+        "identical_answers": True,
+        "incremental_stream_s": round(inc_s, 6),
+        "rebuild_per_batch_s": round(rebuild_s, 6),
+        "speedup_vs_rebuild": round(rebuild_s / inc_s, 2) if inc_s else 0.0,
+        "append_only_s": round(append_s, 6),
+        "appends_per_s": round(ex.n_events / append_s) if append_s else 0,
+        "query_cold_s": round(cold_s, 6),
+        "query_warm_s": round(warm_s, 6),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s else 0.0,
+    }
+
+
+def bench_metrics_overhead() -> Dict[str, object]:
+    """Histogram hot path: resolve instrument per call vs cached handle.
+
+    This quantifies the simulator's per-event instrumentation rewrite
+    (handles resolved once per run in ``Simulation.run``).
+    """
+    from repro.obs.metrics import MetricsRegistry
+
+    n_obs = 100_000
+    vals = [float(i % 37) for i in range(n_obs)]
+    reg = MetricsRegistry()
+
+    def resolve_per_call() -> None:
+        for v in vals:
+            reg.histogram("bench.latency", clock="vector").observe(v)
+
+    def cached_handle() -> None:
+        h = reg.histogram("bench.latency", clock="vector")
+        for v in vals:
+            h.observe(v)
+
+    resolve_s = _best_of(resolve_per_call)
+    cached_s = _best_of(cached_handle)
+    return {
+        "observations": n_obs,
+        "resolve_per_call_s": round(resolve_s, 6),
+        "cached_handle_s": round(cached_s, 6),
+        "speedup": round(resolve_s / cached_s, 2) if cached_s else 0.0,
+    }
+
+
 def check_regression(
     snapshot: Dict[str, object],
     baseline_path: pathlib.Path,
@@ -200,11 +385,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(kernel section unchanged)")
     parser.add_argument("--output", type=pathlib.Path,
                         default=REPO_ROOT / "BENCH_PR2.json")
+    parser.add_argument("--pr4-out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_PR4.json",
+                        help="where to write the incremental-oracle / "
+                             "metrics-overhead snapshot")
     parser.add_argument("--check", type=pathlib.Path, default=None,
                         metavar="BASELINE",
                         help="compare the kernel section against a "
                              "baseline snapshot")
     parser.add_argument("--max-regression", type=float, default=3.0)
+    parser.add_argument("--min-incremental-speedup", type=float, default=None,
+                        metavar="FACTOR",
+                        help="fail unless the streaming oracle beats "
+                             "rebuild-per-query-batch by this factor")
     args = parser.parse_args(argv)
 
     print("kernel microbenchmark "
@@ -229,10 +422,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"validate speedup (min over schemes): "
           f"{validate['min_speedup']}x")  # type: ignore[index]
 
+    print("incremental oracle vs rebuild-per-query-batch "
+          f"({400 if args.quick else 2400}-event stream)...")
+    oracle_inc = bench_oracle_incremental(args.quick)
+    print("metrics hot path (resolve-per-call vs cached handle)...")
+    pr4: Dict[str, object] = {
+        "schema": "bench_pr4/v1",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "oracle_incremental": oracle_inc,
+        "metrics_overhead": bench_metrics_overhead(),
+    }
+    args.pr4_out.write_text(json.dumps(pr4, indent=2) + "\n")
+    print(f"snapshot written to {args.pr4_out}")
+    speedup = oracle_inc["speedup_vs_rebuild"]
+    print(f"incremental oracle speedup vs rebuild: {speedup}x "
+          f"({oracle_inc['appends_per_s']} appends/s, warm-cache query "
+          f"{oracle_inc['warm_speedup']}x over cold)")
+
+    rc = 0
+    if args.min_incremental_speedup is not None:
+        if speedup < args.min_incremental_speedup:  # type: ignore[operator]
+            print(f"incremental oracle too slow: {speedup}x < required "
+                  f"{args.min_incremental_speedup}x")
+            rc = 1
+        else:
+            print(f"incremental speedup within bounds "
+                  f"(>= {args.min_incremental_speedup}x)")
+
     if args.check is not None:
         print(f"checking against baseline {args.check}:")
-        return check_regression(snapshot, args.check, args.max_regression)
-    return 0
+        rc = check_regression(snapshot, args.check, args.max_regression) or rc
+    return rc
 
 
 if __name__ == "__main__":
