@@ -53,16 +53,33 @@ class HLCTimestamp(Timestamp):
     c: int
     proc: int
 
+    def sort_key(self) -> Tuple[float, int, int]:
+        """The total order's key: (physical, logical, pid), in that order.
+
+        The physical component ``l`` compares first; the *integer* logical
+        counter ``c`` breaks ties among events sharing an ``l`` (which is
+        the common case under coarse or frozen physical clocks, e.g. a
+        ``counter_time_source`` whose drift collapses readings); the
+        process id breaks the remaining ties so concurrent events at the
+        same ``(l, c)`` still order deterministically.  Both ``precedes``
+        and ``precedes_matrix`` must derive from this one key — comparing
+        ``elements()`` (which widens ``c`` to float for size accounting)
+        would make the logical/physical tie-breaking depend on float
+        coercion instead of this explicit lexicographic rule.
+        """
+        return (self.l, self.c, self.proc)
+
     def precedes(self, other: "Timestamp") -> bool:
         if not isinstance(other, HLCTimestamp):
             raise TypeError("cannot compare across schemes")
-        return (self.l, self.c, self.proc) < (other.l, other.c, other.proc)
+        return self.sort_key() < other.sort_key()
 
     @classmethod
     def precedes_matrix(cls, timestamps):
-        return total_order_rows([(t.l, t.c, t.proc) for t in timestamps])
+        return total_order_rows([t.sort_key() for t in timestamps])
 
     def elements(self) -> Tuple[float, ...]:
+        """Stored elements for size accounting only — never compared."""
         return (self.l, self.c)
 
 

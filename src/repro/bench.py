@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import hashlib
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Callable, Iterable, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,6 +61,41 @@ def cell_seed(*coords: object) -> int:
     return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
 
 
+class SweepCellError(RuntimeError):
+    """A sweep cell's work function raised.
+
+    Wraps the original exception with the failing cell's coordinates (the
+    ``repr`` of the item passed to the work function) so a 200-cell
+    ``--jobs 8`` sweep reports *which* scenario × clock × size blew up
+    instead of a bare pool traceback from an anonymous worker.  The worker
+    traceback is preserved in :attr:`worker_traceback`.
+    """
+
+    def __init__(self, index: int, item_repr: str, worker_traceback: str) -> None:
+        self.index = index
+        self.item_repr = item_repr
+        self.worker_traceback = worker_traceback
+        last = worker_traceback.strip().splitlines()[-1] if worker_traceback else ""
+        super().__init__(
+            f"sweep cell #{index} {item_repr} failed: {last}\n"
+            f"--- worker traceback ---\n{worker_traceback.rstrip()}"
+        )
+
+
+class _TrappedCell:
+    """Picklable wrapper returning ('ok', result) | ('err', traceback)."""
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, item: T) -> Tuple[str, object]:
+        try:
+            return ("ok", self.fn(item))
+        except Exception:
+            # exceptions (and their tracebacks) may not pickle; ship text
+            return ("err", traceback.format_exc())
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -71,11 +107,29 @@ def parallel_map(
     at most one item) runs serially in-process with no pickling
     requirements.  Chunking is left to the executor; cells are expected to
     be coarse (a full simulation or table row each).
+
+    A cell whose work function raises surfaces as :class:`SweepCellError`
+    naming the cell's coordinates, in both the serial and parallel paths.
     """
     work = list(items)
     if jobs is None:
         jobs = default_jobs()
     if jobs <= 1 or len(work) <= 1:
-        return [fn(item) for item in work]
+        out: List[R] = []
+        for index, item in enumerate(work):
+            try:
+                out.append(fn(item))
+            except Exception as exc:
+                raise SweepCellError(
+                    index, repr(item), traceback.format_exc()
+                ) from exc
+        return out
     with ProcessPoolExecutor(max_workers=min(jobs, len(work))) as pool:
-        return list(pool.map(fn, work))
+        results: List[R] = []
+        for index, (status, value) in enumerate(
+            pool.map(_TrappedCell(fn), work)
+        ):
+            if status == "err":
+                raise SweepCellError(index, repr(work[index]), str(value))
+            results.append(value)  # type: ignore[arg-type]
+        return results

@@ -124,6 +124,12 @@ class NamedClockFactory:
 
 
 # ----------------------------------------------------------------------
+def _error(message: str) -> int:
+    """Report a usage/environment failure on stderr; exit status 1."""
+    print(f"repro: error: {message}", file=sys.stderr)
+    return 1
+
+
 def _make_tracer(kind: str, **meta) -> RunTracer:
     """A tracer whose run id is a pure function of the run coordinates."""
     ordered = {k: meta[k] for k in sorted(meta)}
@@ -221,17 +227,26 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         )
     )
     if args.save_trace:
-        save_execution(ex, args.save_trace)
+        try:
+            save_execution(ex, args.save_trace)
+        except OSError as exc:
+            return _error(f"cannot write trace {args.save_trace}: {exc}")
         print(f"trace written to {args.save_trace}")
     if args.trace_out:
         tracer.snapshot_metrics("run", registry)
-        tracer.write(args.trace_out)
+        try:
+            tracer.write(args.trace_out)
+        except OSError as exc:
+            return _error(f"cannot write trace {args.trace_out}: {exc}")
         print(f"structured trace written to {args.trace_out}")
     return 0 if ok else 1
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    execution = load_execution(args.trace)
+    try:
+        execution = load_execution(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        return _error(f"cannot load trace {args.trace}: {exc}")
     graph = execution.graph
     if graph is None:
         graph = generators.clique(execution.n_processes)
@@ -272,12 +287,24 @@ def cmd_validate(args: argparse.Namespace) -> int:
             )
     if args.trace_out:
         tracer.snapshot_metrics("run", registry)
-        tracer.write(args.trace_out)
+        try:
+            tracer.write(args.trace_out)
+        except OSError as exc:
+            return _error(f"cannot write trace {args.trace_out}: {exc}")
         print(f"structured trace written to {args.trace_out}")
     return 0 if ok else 1
 
 
 def cmd_sizes(args: argparse.Namespace) -> int:
+    if args.n < 1:
+        return _error(f"--n must be >= 1, got {args.n}")
+    if args.k < 1:
+        return _error(f"--k must be >= 1, got {args.k}")
+    if not 1 <= args.cover <= args.n:
+        return _error(
+            f"--cover must be in [1, n={args.n}], got {args.cover} "
+            f"(a vertex cover cannot be larger than the graph)"
+        )
     row = compare_sizes(args.n, args.k, args.cover)
     print(
         format_table(
@@ -458,7 +485,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print("all scenario × clock invariants hold")
     if tracer is not None:
-        tracer.write(args.trace_out)
+        try:
+            tracer.write(args.trace_out)
+        except OSError as exc:
+            return _error(f"cannot write trace {args.trace_out}: {exc}")
         print(f"structured trace written to {args.trace_out}")
     return 0 if report.ok else 1
 
@@ -498,7 +528,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     registry = MetricsRegistry()
     if args.from_trace:
         for path in args.from_trace:
-            registry.merge(registry_from_trace(load_trace(path)))
+            try:
+                registry.merge(registry_from_trace(load_trace(path)))
+            except (OSError, ValueError, KeyError) as exc:
+                return _error(f"cannot load trace {path}: {exc}")
     else:
         graph = build_topology(args.topology, args.n, args.seed)
         clocks = {name: build_clock(name, graph) for name in args.clocks}
@@ -514,12 +547,95 @@ def cmd_metrics(args: argparse.Namespace) -> int:
                 asg.validate(oracle)
     payload = registry.to_json(indent=2)
     if args.output:
-        with open(args.output, "w") as fh:
-            fh.write(payload + "\n")
+        try:
+            with open(args.output, "w") as fh:
+                fh.write(payload + "\n")
+        except OSError as exc:
+            return _error(f"cannot write metrics {args.output}: {exc}")
         print(f"metrics written to {args.output}")
     else:
         print(payload)
     return 0
+
+
+def cmd_conformance(args: argparse.Namespace) -> int:
+    """Differential conformance fuzzing across all clock schemes/oracles.
+
+    Optionally replays a pinned-case corpus first, then runs the seeded
+    fuzz campaign.  Exit status 0 iff no corpus case and no fuzz trial
+    surfaced a mismatch.  ``--report`` writes every mismatch (plus a
+    summary record) as a structured JSONL trace via :mod:`repro.obs`.
+    """
+    from repro.conformance import (
+        case_from_mismatch,
+        fuzz,
+        load_corpus,
+        replay_case,
+        save_case,
+    )
+
+    if args.trials < 0:
+        return _error(f"--trials must be >= 0, got {args.trials}")
+    tracer = _make_tracer(
+        "conformance",
+        trials=args.trials,
+        seed=args.seed,
+        topologies=list(args.topology),
+        steps=args.steps,
+    )
+    corpus_mismatches = 0
+    if args.corpus:
+        try:
+            cases = load_corpus(args.corpus)
+        except (OSError, ValueError, KeyError) as exc:
+            return _error(f"cannot load corpus {args.corpus}: {exc}")
+        for case in cases:
+            for mm in replay_case(case):
+                corpus_mismatches += 1
+                tracer.event("corpus-mismatch", case=case.name,
+                             **mm.to_record())
+                print(f"corpus FAIL {case.name} [{mm.invariant}] "
+                      f"{mm.scheme}: {mm.detail}", file=sys.stderr)
+        print(f"corpus: {len(cases)} pinned case(s), "
+              f"{corpus_mismatches} mismatch(es)")
+    report = fuzz(
+        trials=args.trials,
+        seed=args.seed,
+        topologies=tuple(args.topology),
+        max_steps=args.steps,
+        tracer=tracer,
+        shrink=not args.no_shrink,
+    )
+    print(
+        f"conformance: {report.trials} trial(s), seed {args.seed}, "
+        f"topologies {'/'.join(args.topology)}, "
+        f"{report.events_checked} events checked"
+    )
+    print(format_table(
+        ["invariant", "checks"],
+        [[inv, count] for inv, count in sorted(report.checks.items())],
+    ))
+    for mm in report.mismatches:
+        print(f"MISMATCH [{mm.invariant}] {mm.scheme}: {mm.detail} "
+              f"(ops={len(mm.ops)}, context={dict(mm.context)})",
+              file=sys.stderr)
+    if args.save_failing and report.mismatches:
+        for i, mm in enumerate(report.mismatches):
+            case = case_from_mismatch(
+                f"fuzz-{args.seed}-{mm.context.get('trial', i)}-{i}", mm
+            )
+            path = save_case(case, args.save_failing)
+            print(f"shrunken case written to {path}", file=sys.stderr)
+    if args.report:
+        try:
+            tracer.write(args.report)
+        except OSError as exc:
+            return _error(f"cannot write report {args.report}: {exc}")
+        print(f"mismatch report written to {args.report}")
+    total = corpus_mismatches + len(report.mismatches)
+    print("conformance: OK" if total == 0
+          else f"conformance: {total} mismatch(es)")
+    return 0 if total == 0 else 1
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -642,6 +758,28 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes for the sweep cells")
     p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser(
+        "conformance",
+        help="differential fuzz: all clock schemes vs both causality "
+        "oracles on the same random executions",
+    )
+    p.add_argument("--trials", type=int, default=100)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--topology", nargs="+",
+                   default=["star", "tree", "random"],
+                   choices=["star", "tree", "random"])
+    p.add_argument("--steps", type=int, default=40,
+                   help="max generation steps per trial")
+    p.add_argument("--corpus", metavar="DIR", default=None,
+                   help="replay this pinned-case directory before fuzzing")
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write mismatches as a structured JSONL trace")
+    p.add_argument("--save-failing", metavar="DIR", default=None,
+                   help="write shrunken failing executions as corpus JSON")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="report raw failing executions without minimizing")
+    p.set_defaults(fn=cmd_conformance)
 
     p = sub.add_parser(
         "chaos", help="fault-scenario sweep with invariant checks (E16)"

@@ -66,6 +66,41 @@ class StarTimestamp(Timestamp):
     post: Optional[PostValue]
     center: ProcessId
 
+    def __post_init__(self) -> None:
+        # Theorem 3.1's cases read ``post`` without a None check, so the
+        # central/radial boundary is enforced at construction: central
+        # events have no ``post`` (it is undefined there, not ∞), radial
+        # events always carry one — an integer receive index at C, or
+        # INFINITY when no event at C ever hears of this event.
+        if self.ctr < 1:
+            raise ValueError(f"ctr must be >= 1, got {self.ctr}")
+        if self.pre < 0:
+            raise ValueError(f"pre must be >= 0, got {self.pre}")
+        if self.id == self.center:
+            if self.post is not None:
+                raise ValueError(
+                    f"central event ⟨id={self.id}, ctr={self.ctr}⟩ must "
+                    f"have post=None, got {self.post!r}"
+                )
+            if self.pre != self.ctr:
+                raise ValueError(
+                    f"central event must have pre == ctr, got "
+                    f"pre={self.pre} ctr={self.ctr}"
+                )
+        else:
+            if self.post is None:
+                raise ValueError(
+                    f"radial event ⟨id={self.id}, ctr={self.ctr}⟩ needs a "
+                    f"post value (an index at C, or INFINITY)"
+                )
+            if self.post != INFINITY and (
+                not isinstance(self.post, int) or self.post < 1
+            ):
+                raise ValueError(
+                    f"radial post must be an index >= 1 or INFINITY, "
+                    f"got {self.post!r}"
+                )
+
     @property
     def at_center(self) -> bool:
         return self.id == self.center
@@ -82,8 +117,10 @@ class StarTimestamp(Timestamp):
         if e.at_center and not f.at_center:
             return e.pre <= f.pre
         if not e.at_center and f.id != e.id:
-            assert e.post is not None
-            return e.post <= f.pre
+            # __post_init__ guarantees a radial post; ∞ <= pre is False for
+            # every finite pre, so an unacknowledged radial event precedes
+            # nothing outside its own process — exactly HB on a star
+            return e.post <= f.pre  # type: ignore[operator]
         # radial, same process
         return e.ctr < f.ctr
 
@@ -133,8 +170,7 @@ class StarTimestamp(Timestamp):
         (``pre = ctr`` and ``post`` undefined at the center)."""
         if self.at_center:
             return (self.id, self.ctr)
-        assert self.post is not None
-        return (self.id, self.ctr, self.pre, self.post)
+        return (self.id, self.ctr, self.pre, self.post)  # post never None here
 
 
 @dataclass(slots=True)

@@ -1,0 +1,59 @@
+"""Differential conformance fuzzing for clock schemes and oracles.
+
+The paper's claims are relational — every comparison operator must agree
+with happened-before — so this package cross-checks all registered clock
+schemes and both causality-oracle flavors on the *same* randomized
+executions, shrinks any divergence to a minimal counterexample, and pins
+fixed bugs in a replayable corpus.  See :mod:`repro.conformance.fuzzer`
+for the four invariants, :mod:`repro.conformance.registry` for the scheme
+table, and ``repro conformance --help`` for the CLI entry point.
+"""
+
+from repro.conformance.corpus import (
+    CASE_SCHEMA,
+    CorpusCase,
+    case_from_mismatch,
+    load_case,
+    load_corpus,
+    replay_case,
+    save_case,
+)
+from repro.conformance.fuzzer import (
+    INVARIANTS,
+    ConformanceReport,
+    Mismatch,
+    check_execution,
+    fuzz,
+    generate_trial,
+)
+from repro.conformance.registry import (
+    SchemeSpec,
+    all_schemes,
+    scheme_by_name,
+    schemes_for,
+    star_center_of,
+)
+from repro.conformance.shrinker import shrink_mismatch, shrink_ops
+
+__all__ = [
+    "CASE_SCHEMA",
+    "INVARIANTS",
+    "ConformanceReport",
+    "CorpusCase",
+    "Mismatch",
+    "SchemeSpec",
+    "all_schemes",
+    "case_from_mismatch",
+    "check_execution",
+    "fuzz",
+    "generate_trial",
+    "load_case",
+    "load_corpus",
+    "replay_case",
+    "save_case",
+    "scheme_by_name",
+    "schemes_for",
+    "shrink_mismatch",
+    "shrink_ops",
+    "star_center_of",
+]

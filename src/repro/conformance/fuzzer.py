@@ -1,0 +1,491 @@
+"""Differential conformance fuzzing across clock schemes and oracles.
+
+One randomized execution at a time, :func:`check_execution` replays every
+legally applicable scheme from :mod:`repro.conformance.registry` and both
+causality-oracle flavors, then cross-checks four invariants:
+
+1. **exact-vs-hb** — for every scheme claiming
+   ``characterizes_causality``, ``precedes`` must agree with ground-truth
+   happened-before on all event pairs, and the word-parallel
+   ``precedes_matrix`` path must agree bit-for-bit with the pairwise path
+   (:meth:`TimestampAssignment.validate` vs ``validate_pairwise``).
+2. **oracle-differential** — an :class:`IncrementalHBOracle` streamed over
+   the same events, with queries interleaved between appends, must answer
+   identically to the batch :class:`HappenedBeforeOracle`, and its
+   ``freeze()`` must produce byte-identical causal-past rows.
+3. **finalization-monotonic** — for inline schemes, a ``⊥`` timestamp that
+   finalizes never changes afterwards, and ``finalize_at_termination`` from
+   *any* prefix of the run both preserves already-final timestamps and
+   yields an exact characterization of the prefix's happened-before.
+4. **one-sided** — inexact baselines (lamport, plausible, hlc) must stay
+   *consistent* (``e -> f ⟹ ts(e) < ts(f)``); they may overclaim but never
+   miss a causal edge.
+
+Failures come back as :class:`Mismatch` records carrying the generating op
+list, ready for the shrinker and the JSONL report.  :func:`fuzz` drives
+seeded trials over star/tree/connected topologies, mixing in fault
+schedules from :mod:`repro.faults` so undelivered-message paths get
+exercised deliberately rather than incidentally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.bench import cell_seed
+from repro.clocks.replay import replay_one
+from repro.conformance.registry import (
+    SchemeSpec,
+    schemes_for,
+    star_center_of,
+)
+from repro.core import HappenedBeforeOracle
+from repro.core.execution import ExecutionBuilder
+from repro.core.incremental import IncrementalHBOracle
+from repro.core.random_executions import (
+    Op,
+    execution_from_ops,
+    random_ops,
+)
+from repro.faults.models import FaultModel, GilbertElliottLoss, PartitionFault
+from repro.topology import generators
+from repro.topology.graph import CommunicationGraph
+
+#: invariant identifiers, used in Mismatch.invariant and JSONL records
+INVARIANTS = (
+    "exact-vs-hb",
+    "matrix-vs-pairwise",
+    "oracle-differential",
+    "finalization-monotonic",
+    "one-sided",
+)
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One observed conformance violation, with enough state to replay it."""
+
+    invariant: str
+    scheme: str  # clock name, or "oracle" for invariant 2
+    detail: str
+    n_processes: int
+    edges: Tuple[Tuple[int, int], ...]
+    ops: Tuple[Op, ...]
+    fifo: bool
+    context: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        """A JSON-serializable record for the mismatch report."""
+        return {
+            "invariant": self.invariant,
+            "scheme": self.scheme,
+            "detail": self.detail,
+            "n_processes": self.n_processes,
+            "edges": [list(e) for e in self.edges],
+            "ops": [list(op) for op in self.ops],
+            "fifo": self.fifo,
+            **dict(self.context),
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome of a fuzzing campaign."""
+
+    trials: int = 0
+    events_checked: int = 0
+    checks: Dict[str, int] = field(default_factory=dict)
+    mismatches: List[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def count(self, invariant: str, n: int = 1) -> None:
+        self.checks[invariant] = self.checks.get(invariant, 0) + n
+
+
+def _mk(
+    invariant: str,
+    scheme: str,
+    detail: str,
+    graph: CommunicationGraph,
+    ops: Sequence[Op],
+    fifo: bool,
+    context: Mapping[str, Any],
+) -> Mismatch:
+    return Mismatch(
+        invariant=invariant,
+        scheme=scheme,
+        detail=detail,
+        n_processes=graph.n_vertices,
+        edges=tuple(graph.edges),
+        ops=tuple(tuple(op) for op in ops),
+        fifo=fifo,
+        context=dict(context),
+    )
+
+
+# ----------------------------------------------------------------------
+# invariants 1 + 4: scheme vs ground truth, matrix vs pairwise
+# ----------------------------------------------------------------------
+def _check_schemes(
+    graph, ops, execution, oracle, specs, center, fifo, context, report
+):
+    out: List[Mismatch] = []
+    for spec in specs:
+        clock = spec.build(graph, center)
+        try:
+            asg = replay_one(execution, clock)
+        except Exception as exc:  # a crash is a conformance failure too
+            out.append(_mk(
+                "exact-vs-hb" if spec.exact else "one-sided", spec.name,
+                f"replay raised {exc!r}", graph, ops, fifo, context,
+            ))
+            continue
+        rep_m = asg.validate(oracle)
+        rep_p = asg.validate_pairwise(oracle)
+        report.count("matrix-vs-pairwise")
+        if (rep_m.false_negatives != rep_p.false_negatives
+                or rep_m.false_positives != rep_p.false_positives):
+            out.append(_mk(
+                "matrix-vs-pairwise", spec.name,
+                f"matrix path fn={len(rep_m.false_negatives)} "
+                f"fp={len(rep_m.false_positives)} vs pairwise "
+                f"fn={len(rep_p.false_negatives)} "
+                f"fp={len(rep_p.false_positives)}",
+                graph, ops, fifo, context,
+            ))
+        if spec.exact:
+            report.count("exact-vs-hb")
+            if not rep_p.characterizes:
+                fn = rep_p.false_negatives[:3]
+                fp = rep_p.false_positives[:3]
+                out.append(_mk(
+                    "exact-vs-hb", spec.name,
+                    f"not a characterization: false_negatives={fn} "
+                    f"false_positives={fp}",
+                    graph, ops, fifo, context,
+                ))
+        else:
+            report.count("one-sided")
+            if not rep_p.is_consistent:
+                out.append(_mk(
+                    "one-sided", spec.name,
+                    f"missed causal pairs: {rep_p.false_negatives[:3]}",
+                    graph, ops, fifo, context,
+                ))
+    return out
+
+
+# ----------------------------------------------------------------------
+# invariant 2: streaming oracle vs batch oracle
+# ----------------------------------------------------------------------
+def _check_oracles(graph, ops, execution, oracle, fifo, context, report):
+    out: List[Mismatch] = []
+    report.count("oracle-differential")
+    inc = IncrementalHBOracle(graph.n_vertices)
+    qrng = random.Random(len(ops) * 2654435761 % (2**31))
+    seen: List = []
+    for ev in execution.delivery_order():
+        if ev.is_receive:
+            inc.append_receive(ev.eid, execution.send_of(ev).eid)
+        else:
+            inc.append_event(ev)
+        seen.append(ev.eid)
+        if len(seen) >= 2 and qrng.random() < 0.4:
+            a, b = qrng.sample(seen, 2)
+            # happened-before between already-appended events is stable, so
+            # the full-execution batch oracle is the correct reference even
+            # mid-stream
+            if inc.precedes(a, b) != oracle.happened_before(a, b):
+                out.append(_mk(
+                    "oracle-differential", "oracle",
+                    f"precedes({a}, {b}) diverges mid-stream",
+                    graph, ops, fifo, context,
+                ))
+            if inc.causal_past(a) != oracle.causal_past(a):
+                out.append(_mk(
+                    "oracle-differential", "oracle",
+                    f"causal_past({a}) diverges mid-stream",
+                    graph, ops, fifo, context,
+                ))
+    frozen = inc.freeze(execution)
+    if frozen.past_masks() != oracle.past_masks():
+        out.append(_mk(
+            "oracle-differential", "oracle",
+            "freeze() causal-past rows differ from batch oracle",
+            graph, ops, fifo, context,
+        ))
+    if inc.relation_counts() != oracle.relation_counts():
+        out.append(_mk(
+            "oracle-differential", "oracle",
+            "relation_counts diverge after full ingest",
+            graph, ops, fifo, context,
+        ))
+    for eid in seen:
+        if frozen.vector_clock(eid) != oracle.vector_clock(eid):
+            out.append(_mk(
+                "oracle-differential", "oracle",
+                f"vector_clock({eid}) differs after freeze",
+                graph, ops, fifo, context,
+            ))
+            break
+    return out
+
+
+# ----------------------------------------------------------------------
+# invariant 3: inline finalization monotonicity, from every prefix
+# ----------------------------------------------------------------------
+def _check_finalization(
+    graph, ops, specs, center, fifo, context, report, prefix_samples=4
+):
+    out: List[Mismatch] = []
+    inline_specs = [s for s in specs if s.inline]
+    if not inline_specs:
+        return out
+    n_ops = len(ops)
+    sample_at = set()
+    if n_ops:
+        stride = max(1, n_ops // prefix_samples)
+        sample_at = set(range(stride - 1, n_ops, stride))
+        sample_at.add(n_ops - 1)
+    for spec in inline_specs:
+        report.count("finalization-monotonic")
+        clock = spec.build(graph, center)
+        builder = ExecutionBuilder(graph.n_vertices, graph=graph)
+        msg_ids: Dict[int, int] = {}
+        payloads: Dict[int, Any] = {}
+        final_ts: Dict = {}
+
+        def record_final(source: str, step: int) -> None:
+            for eid in clock.drain_newly_finalized():
+                ts = clock.timestamp(eid)
+                if eid in final_ts and final_ts[eid] != ts:
+                    out.append(_mk(
+                        "finalization-monotonic", spec.name,
+                        f"{source} step {step}: {eid} re-finalized "
+                        f"{final_ts[eid]} -> {ts}",
+                        graph, ops, fifo, context,
+                    ))
+                final_ts[eid] = ts
+
+        for step, op in enumerate(ops):
+            kind = op[0]
+            if kind == "local":
+                ev = builder.local(op[1])
+                clock.on_local(ev)
+            elif kind == "send":
+                tag, src, dst = op[1], op[2], op[3]
+                msg_ids[tag] = builder.send(src, dst)
+                ev = builder.last_event(src)
+                payloads[tag] = clock.on_send(ev)
+            else:
+                tag = op[1]
+                msg = builder.message(msg_ids[tag])
+                ev = builder.receive(msg.dst, msg_ids[tag])
+                for cm in clock.on_receive(ev, payloads.pop(tag)):
+                    clock.on_control(cm.src, cm.dst, cm.payload)
+            record_final("stream", step)
+            # previously finalized timestamps must read back unchanged
+            for eid, ts in final_ts.items():
+                now = clock.timestamp(eid)
+                if now != ts:
+                    out.append(_mk(
+                        "finalization-monotonic", spec.name,
+                        f"step {step}: finalized {eid} drifted "
+                        f"{ts} -> {now}",
+                        graph, ops, fifo, context,
+                    ))
+            if step not in sample_at:
+                continue
+            # finalize a restored copy of this prefix: already-final values
+            # must survive, everything must finalize, and the result must
+            # characterize the prefix's happened-before exactly
+            clone = spec.build(graph, center)
+            clone.restore(clock.checkpoint())
+            clone.finalize_at_termination()
+            for eid, ts in final_ts.items():
+                now = clone.timestamp(eid)
+                if now != ts:
+                    out.append(_mk(
+                        "finalization-monotonic", spec.name,
+                        f"prefix {step}: finalize_at_termination changed "
+                        f"already-final {eid}: {ts} -> {now}",
+                        graph, ops, fifo, context,
+                    ))
+            prefix_ex = execution_from_ops(graph, ops[: step + 1])
+            prefix_oracle = HappenedBeforeOracle(prefix_ex)
+            ids = [e.eid for e in prefix_ex.all_events()]
+            ts_of = {}
+            for eid in ids:
+                t = clone.timestamp(eid)
+                if t is None:
+                    out.append(_mk(
+                        "finalization-monotonic", spec.name,
+                        f"prefix {step}: {eid} still ⊥ after "
+                        f"finalize_at_termination",
+                        graph, ops, fifo, context,
+                    ))
+                ts_of[eid] = t
+            for a in ids:
+                if ts_of[a] is None:
+                    continue
+                for b in ids:
+                    if a == b or ts_of[b] is None:
+                        continue
+                    hb = prefix_oracle.happened_before(a, b)
+                    claimed = ts_of[a].precedes(ts_of[b])
+                    if hb != claimed:
+                        out.append(_mk(
+                            "finalization-monotonic", spec.name,
+                            f"prefix {step}: {a}->{b} hb={hb} but "
+                            f"finalized prefix claims {claimed}",
+                            graph, ops, fifo, context,
+                        ))
+        # the fully finalized run must also be exact (covered separately by
+        # invariant 1, but reached through the streaming path here)
+        clock.finalize_at_termination()
+        record_final("termination", n_ops)
+    return out
+
+
+# ----------------------------------------------------------------------
+def check_execution(
+    graph: CommunicationGraph,
+    ops: Sequence[Op],
+    *,
+    fifo: bool = False,
+    schemes: Optional[Sequence[SchemeSpec]] = None,
+    context: Optional[Mapping[str, Any]] = None,
+    report: Optional[ConformanceReport] = None,
+) -> List[Mismatch]:
+    """Run all four conformance invariants on one execution.
+
+    *schemes* restricts the scheme set (corpus replays pin specific
+    schemes); by default every scheme legal for (*graph*, *fifo*) runs.
+    """
+    context = dict(context or {})
+    report = report if report is not None else ConformanceReport()
+    specs = list(schemes) if schemes is not None else schemes_for(graph, fifo)
+    center = star_center_of(graph) or 0
+    execution = execution_from_ops(graph, ops)
+    report.events_checked += execution.n_events
+    oracle = HappenedBeforeOracle(execution)
+    mismatches: List[Mismatch] = []
+    mismatches += _check_schemes(
+        graph, ops, execution, oracle, specs, center, fifo, context, report
+    )
+    mismatches += _check_oracles(
+        graph, ops, execution, oracle, fifo, context, report
+    )
+    mismatches += _check_finalization(
+        graph, ops, specs, center, fifo, context, report
+    )
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# trial generation
+# ----------------------------------------------------------------------
+def _trial_fault(kind: int, n: int) -> Optional[FaultModel]:
+    """Cycle a small family of drop schedules through the trials."""
+    if kind == 1:
+        return GilbertElliottLoss(
+            p_enter_burst=0.2, p_exit_burst=0.3, loss_burst=1.0
+        )
+    if kind == 2:
+        half = max(1, n // 2)
+        return PartitionFault(
+            groups=[range(half), range(half, n)], start=2.0, duration=8.0
+        )
+    return None
+
+
+def _trial_graph(kind: str, n: int, rng: random.Random) -> CommunicationGraph:
+    if kind == "star":
+        return generators.star(n)
+    if kind == "tree":
+        return generators.random_tree(n, rng)
+    if kind == "random":
+        return generators.erdos_renyi(n, 0.5, rng)
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+def generate_trial(
+    seed: int,
+    trial: int,
+    topologies: Sequence[str],
+    max_steps: int,
+) -> Tuple[CommunicationGraph, List[Op], bool, Dict[str, Any]]:
+    """Deterministically generate trial *trial* of a campaign."""
+    rng = random.Random(cell_seed(seed, "conformance", trial))
+    kind = topologies[trial % len(topologies)]
+    n = rng.randrange(2, 8)
+    graph = _trial_graph(kind, n, rng)
+    fifo = trial % 3 == 0
+    deliver_all = trial % 4 != 0
+    # FIFO trials stay lossless: the SK differential vectors assume
+    # *reliable* FIFO channels, and a dropped message would create a
+    # sequence gap that legally breaks their encoding
+    fault = None if fifo else _trial_fault(trial % 5 % 3, n)
+    steps = rng.randrange(0, max(1, max_steps))
+    ops = random_ops(
+        graph,
+        rng,
+        steps=steps,
+        deliver_all=deliver_all,
+        fifo=fifo,
+        fault=fault,
+    )
+    context = {
+        "trial": trial,
+        "seed": seed,
+        "topology": kind,
+        "fault": type(fault).__name__ if fault else "none",
+    }
+    return graph, ops, fifo, context
+
+
+def fuzz(
+    trials: int,
+    seed: int = 0,
+    topologies: Sequence[str] = ("star", "tree", "random"),
+    max_steps: int = 40,
+    tracer=None,
+    shrink: bool = True,
+) -> ConformanceReport:
+    """Run a fuzzing campaign; every mismatch is (optionally) shrunk.
+
+    The campaign is a pure function of ``(trials, seed, topologies,
+    max_steps)`` — per-trial RNGs derive from :func:`repro.bench.cell_seed`
+    so reports reproduce exactly.
+    """
+    from repro.conformance.shrinker import shrink_mismatch
+
+    report = ConformanceReport()
+    for trial in range(trials):
+        graph, ops, fifo, context = generate_trial(
+            seed, trial, topologies, max_steps
+        )
+        found = check_execution(
+            graph, ops, fifo=fifo, context=context, report=report
+        )
+        report.trials += 1
+        for mm in found:
+            if shrink:
+                mm = shrink_mismatch(graph, mm)
+            report.mismatches.append(mm)
+            if tracer is not None:
+                tracer.event("mismatch", **mm.to_record())
+    if tracer is not None:
+        tracer.event(
+            "summary",
+            trials=report.trials,
+            events=report.events_checked,
+            checks=dict(sorted(report.checks.items())),
+            mismatches=len(report.mismatches),
+        )
+    return report

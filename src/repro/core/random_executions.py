@@ -7,18 +7,49 @@ interleaving produced this way is a valid asynchronous execution; messages
 may remain undelivered, and per-channel ordering is deliberately *not* FIFO
 — the paper's model allows arbitrary reordering and the clock algorithms
 must tolerate it.
+
+Two layers:
+
+- :func:`random_ops` produces the execution as a flat list of *ops* —
+  ``("local", p)``, ``("send", m, u, v)``, ``("recv", m)`` — where ``m`` is
+  a stable message tag.  Ops are plain tuples of ints/strs, so they
+  JSON-serialize, diff cleanly, and can be *edited*: the conformance
+  shrinker (:mod:`repro.conformance.shrinker`) deletes ops and re-validates
+  with :func:`normalize_ops`.
+- :func:`execution_from_ops` replays an op list through the validating
+  :class:`~repro.core.execution.ExecutionBuilder`, and
+  :func:`random_execution` composes the two (its random stream is
+  unchanged from when it built executions directly).
+
+An optional :class:`~repro.faults.models.FaultModel` lets the fuzzer reuse
+the structured fault schedules from :mod:`repro.faults`: each send consults
+``message_fate`` (with the step index as virtual time) and a dropped
+message simply never becomes deliverable — the send event still exists,
+exercising the undelivered-message paths of every clock scheme.  Message
+duplication and crash schedules are not representable here (the execution
+model matches each message to at most one receive), so only the drop
+component of a fate is honored.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.execution import Execution, ExecutionBuilder
 from repro.topology.graph import CommunicationGraph
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.faults.models import FaultModel
 
-def random_execution(
+#: One generation step: ``("local", proc)``, ``("send", tag, src, dst)``,
+#: or ``("recv", tag)``.  Tags are assigned in send order and stay attached
+#: to their send when ops are deleted, so a shrunk op list still names the
+#: same messages.
+Op = Tuple  # heterogeneous; see above
+
+
+def random_ops(
     graph: CommunicationGraph,
     rng: random.Random,
     steps: int = 30,
@@ -26,8 +57,9 @@ def random_execution(
     p_local: float = 0.15,
     deliver_all: bool = False,
     fifo: bool = False,
-) -> Execution:
-    """A random execution over *graph*.
+    fault: Optional["FaultModel"] = None,
+) -> List[Op]:
+    """Generate the op list of a random execution over *graph*.
 
     Parameters
     ----------
@@ -46,12 +78,22 @@ def random_execution(
         random channel with in-flight messages and delivers its *oldest*
         one.  Needed by schemes that assume FIFO channels (e.g.
         :class:`~repro.clocks.vector_sk.SKVectorClock`).
+    fault:
+        Optional fault model; each send consults
+        ``fault.message_fate(src, dst, now=step, rng)`` and a ``drop`` fate
+        leaves the message undelivered forever (it never enters the
+        in-flight set, and ``deliver_all`` does not resurrect it).
     """
     if steps < 0:
         raise ValueError("steps must be >= 0")
-    builder = ExecutionBuilder(graph.n_vertices, graph=graph)
+    if fault is not None:
+        reset = getattr(fault, "reset", None)
+        if callable(reset):
+            reset(rng)
+    ops: List[Op] = []
     edges = list(graph.edges)
-    in_flight: List[Tuple[int, int, int]] = []  # (msg_id, src, dst)
+    in_flight: List[Tuple[int, int, int]] = []  # (tag, src, dst)
+    next_tag = 0
 
     def deliver_one() -> None:
         if fifo:
@@ -64,27 +106,113 @@ def random_execution(
             )
         else:
             idx = rng.randrange(len(in_flight))
-        msg_id, _src, dst = in_flight.pop(idx)
-        builder.receive(dst, msg_id)
+        tag, _src, _dst = in_flight.pop(idx)
+        ops.append(("recv", tag))
 
-    for _ in range(steps):
+    for step in range(steps):
         roll = rng.random()
         if in_flight and roll < p_deliver:
             deliver_one()
         elif not edges or roll < p_deliver + p_local:
-            builder.local(rng.randrange(graph.n_vertices))
+            ops.append(("local", rng.randrange(graph.n_vertices)))
         else:
             u, v = edges[rng.randrange(len(edges))]
             if rng.random() < 0.5:
                 u, v = v, u
-            msg_id = builder.send(u, v)
-            in_flight.append((msg_id, u, v))
+            tag = next_tag
+            next_tag += 1
+            ops.append(("send", tag, u, v))
+            dropped = False
+            if fault is not None:
+                fate = fault.message_fate(u, v, float(step), rng)
+                dropped = fate.drop
+            if not dropped:
+                in_flight.append((tag, u, v))
     if deliver_all:
         if fifo:
             while in_flight:
                 deliver_one()
         else:
             rng.shuffle(in_flight)
-            for msg_id, _src, dst in in_flight:
-                builder.receive(dst, msg_id)
+            for tag, _src, _dst in in_flight:
+                ops.append(("recv", tag))
+    return ops
+
+
+def normalize_ops(ops: Sequence[Op]) -> List[Op]:
+    """Drop ops invalidated by deletions, keeping the rest in order.
+
+    A ``recv`` survives only if its send appears earlier in the (possibly
+    shrunk) list and the tag has not been received before.  This is the
+    closure the shrinker relies on: any subsequence of a valid op list
+    normalizes to a valid op list.
+    """
+    sent: set = set()
+    received: set = set()
+    out: List[Op] = []
+    for op in ops:
+        kind = op[0]
+        if kind == "send":
+            sent.add(op[1])
+        elif kind == "recv":
+            tag = op[1]
+            if tag not in sent or tag in received:
+                continue
+            received.add(tag)
+        out.append(op)
+    return out
+
+
+def execution_from_ops(
+    graph: CommunicationGraph, ops: Sequence[Op]
+) -> Execution:
+    """Build a validated :class:`Execution` from an op list.
+
+    Raises :class:`~repro.core.execution.ExecutionError` (or ``ValueError``
+    for malformed ops) when the list is not a valid execution — run
+    :func:`normalize_ops` first after editing an op list.
+    """
+    builder = ExecutionBuilder(graph.n_vertices, graph=graph)
+    msg_ids: dict = {}  # tag -> builder MessageId
+    for op in ops:
+        kind = op[0]
+        if kind == "local":
+            builder.local(op[1])
+        elif kind == "send":
+            tag, src, dst = op[1], op[2], op[3]
+            if tag in msg_ids:
+                raise ValueError(f"duplicate send tag {tag}")
+            msg_ids[tag] = builder.send(src, dst)
+        elif kind == "recv":
+            tag = op[1]
+            if tag not in msg_ids:
+                raise ValueError(f"recv of unknown tag {tag}")
+            msg = builder.message(msg_ids[tag])
+            builder.receive(msg.dst, msg_ids[tag])
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
     return builder.freeze()
+
+
+def random_execution(
+    graph: CommunicationGraph,
+    rng: random.Random,
+    steps: int = 30,
+    p_deliver: float = 0.45,
+    p_local: float = 0.15,
+    deliver_all: bool = False,
+    fifo: bool = False,
+    fault: Optional["FaultModel"] = None,
+) -> Execution:
+    """A random execution over *graph* (see :func:`random_ops`)."""
+    ops = random_ops(
+        graph,
+        rng,
+        steps=steps,
+        p_deliver=p_deliver,
+        p_local=p_local,
+        deliver_all=deliver_all,
+        fifo=fifo,
+        fault=fault,
+    )
+    return execution_from_ops(graph, ops)

@@ -117,3 +117,62 @@ class TestUpdateRules:
         max_skew = max(skews.values()) - min(skews.values())
         for p in range(4):
             assert 0 <= clock.drift_from_physical(p) <= max_skew + 1.0
+
+
+class TestEqualPhysicalTimes:
+    """Regression: ties must break on the explicit (l, c, proc) key.
+
+    Under a frozen physical clock every event shares the same ``l``, so the
+    whole order rests on the integer logical counter and the pid — exactly
+    the components that ``elements()``'s float widening would blur.  Both
+    comparison paths (pairwise and word-parallel matrix) must agree with
+    each other and stay consistent with happened-before.
+    """
+
+    @staticmethod
+    def _frozen(_proc):
+        return 5.0
+
+    def test_sort_key_is_physical_logical_pid(self):
+        assert HLCTimestamp(5.0, 3, 1).sort_key() == (5.0, 3, 1)
+        # logical counter beats pid; physical beats both
+        assert HLCTimestamp(5.0, 2, 9).sort_key() < HLCTimestamp(5.0, 3, 0).sort_key()
+        assert HLCTimestamp(4.0, 99, 9).sort_key() < HLCTimestamp(5.0, 0, 0).sort_key()
+
+    def test_precedes_uses_sort_key(self):
+        a = HLCTimestamp(5.0, 2, 9)
+        b = HLCTimestamp(5.0, 3, 0)
+        assert a.precedes(b)
+        assert not b.precedes(a)
+        # pid as the final tiebreak for identical (l, c)
+        assert HLCTimestamp(5.0, 2, 0).precedes(HLCTimestamp(5.0, 2, 1))
+
+    def test_consistent_under_frozen_clock(self):
+        g = generators.star(4)
+        ex = random_execution(g, random.Random(3), steps=40, deliver_all=True)
+        clock = HybridLogicalClock(4, time_source=self._frozen)
+        asg = replay_one(ex, clock)
+        report = asg.validate_pairwise()
+        assert report.is_consistent, report.false_negatives[:3]
+
+    def test_matrix_matches_pairwise_under_frozen_clock(self):
+        g = generators.star(4)
+        ex = random_execution(g, random.Random(4), steps=40, deliver_all=True)
+        clock = HybridLogicalClock(4, time_source=self._frozen)
+        asg = replay_one(ex, clock)
+        rep_m = asg.validate()
+        rep_p = asg.validate_pairwise()
+        assert rep_m.false_negatives == rep_p.false_negatives
+        assert rep_m.false_positives == rep_p.false_positives
+
+    def test_ties_total_order_is_deterministic(self):
+        """Equal (l, c) pairs across processes order by pid, both paths."""
+        ts = [HLCTimestamp(5.0, 1, p) for p in (2, 0, 1)]
+        rows = HLCTimestamp.precedes_matrix(ts)
+        for i, a in enumerate(ts):
+            for j, b in enumerate(ts):
+                if i == j:
+                    continue
+                # bit i of rows[j]: "timestamp i precedes timestamp j"
+                assert bool(rows[j] >> i & 1) == a.precedes(b)
+                assert a.precedes(b) == (a.proc < b.proc)

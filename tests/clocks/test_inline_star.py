@@ -89,7 +89,7 @@ class TestComparisonOperator:
 
     def test_cross_system_comparison_rejected(self):
         a = StarTimestamp(id=0, ctr=1, pre=1, post=None, center=0)
-        b = StarTimestamp(id=0, ctr=1, pre=1, post=None, center=1)
+        b = StarTimestamp(id=0, ctr=1, pre=1, post=2, center=1)
         with pytest.raises(ValueError):
             a.precedes(b)
 
@@ -286,3 +286,92 @@ class TestTerminationFinalization:
         ex = star_execution(seed, deliver_all=False)
         asg = replay_one(ex, StarInlineClock(5, center=0))
         assert asg.validate().characterizes
+
+
+class TestPostBoundary:
+    """The post=None (central) vs post=INFINITY (radial) boundary.
+
+    ``post`` means different things on the two sides of the star: central
+    events have none (the centre is its own proxy), radial events always
+    carry one, with ∞ encoding "no causal successor at C".  Mixing the two
+    up used to be caught only by a bare ``assert`` — which vanishes under
+    ``python -O`` and then silently compares ``None <= int``.  These tests
+    pin the constructor validation and audit all four Theorem 3.1 cases on
+    an execution where a radial process never receives an ack.
+    """
+
+    def test_central_timestamp_rejects_post_value(self):
+        with pytest.raises(ValueError):
+            StarTimestamp(id=0, ctr=1, pre=1, post=1, center=0)
+        with pytest.raises(ValueError):
+            StarTimestamp(id=0, ctr=1, pre=1, post=INFINITY, center=0)
+
+    def test_central_timestamp_requires_pre_equal_ctr(self):
+        with pytest.raises(ValueError):
+            StarTimestamp(id=0, ctr=2, pre=1, post=None, center=0)
+
+    def test_radial_timestamp_rejects_missing_post(self):
+        with pytest.raises(ValueError):
+            StarTimestamp(id=1, ctr=1, pre=0, post=None, center=0)
+
+    def test_radial_post_must_be_index_or_infinity(self):
+        with pytest.raises(ValueError):
+            StarTimestamp(id=1, ctr=1, pre=0, post=0, center=0)
+        with pytest.raises(ValueError):
+            StarTimestamp(id=1, ctr=1, pre=0, post=2.5, center=0)
+        # both legal forms construct fine
+        StarTimestamp(id=1, ctr=1, pre=0, post=3, center=0)
+        StarTimestamp(id=1, ctr=1, pre=0, post=INFINITY, center=0)
+
+    def test_bad_ctr_and_pre_rejected(self):
+        with pytest.raises(ValueError):
+            StarTimestamp(id=1, ctr=0, pre=0, post=INFINITY, center=0)
+        with pytest.raises(ValueError):
+            StarTimestamp(id=1, ctr=1, pre=-1, post=INFINITY, center=0)
+
+    def _no_ack_execution(self):
+        """p1 works and sends to C, but C never delivers; C and p2 talk."""
+        graph = generators.star(3)
+        b = ExecutionBuilder(3, graph=graph)
+        b.local(1)
+        b.send(1, 0)            # never delivered: no ack will ever exist
+        b.send_and_receive(0, 2)  # C(1) -> p2(1): the rest of the star works
+        m_back = b.send(2, 0)
+        b.receive(0, m_back)    # C(2) receives p2's reply
+        b.local(1)              # p1 keeps going, still unacknowledged
+        return b.freeze()
+
+    def test_no_ack_radial_finalizes_to_infinity(self):
+        ex = self._no_ack_execution()
+        asg = replay_one(ex, StarInlineClock(3, center=0))
+        for idx in (1, 2, 3):
+            ts = asg[EventId(1, idx)]
+            assert ts.post == INFINITY, f"e{idx}@p1 must have post=∞, got {ts}"
+            assert ts.pre == 0  # p1 never heard from C either
+
+    def test_no_ack_execution_characterizes(self):
+        """All four Theorem 3.1 cases agree with HB despite post=∞."""
+        ex = self._no_ack_execution()
+        asg = replay_one(ex, StarInlineClock(3, center=0))
+        assert asg.validate().characterizes, asg.validate()
+
+    def test_no_ack_boundary_cases_explicit(self):
+        ex = self._no_ack_execution()
+        asg = replay_one(ex, StarInlineClock(3, center=0))
+        p1_send = asg[EventId(1, 2)]    # radial, post=∞
+        p1_last = asg[EventId(1, 3)]
+        center_first = asg[EventId(0, 1)]
+        p2_recv = asg[EventId(2, 1)]
+        # case 3 (radial → other process): ∞ <= pre is False for any event
+        assert not p1_send.precedes(center_first)
+        assert not p1_send.precedes(p2_recv)
+        # case 2 (central → radial): pre_e <= pre_f fails since p1.pre == 0
+        assert not center_first.precedes(p1_send)
+        # case 4 (same radial process): ctr order still works under post=∞
+        assert p1_send.precedes(p1_last)
+        assert not p1_last.precedes(p1_send)
+
+    def test_infinity_post_counts_as_stored_element(self):
+        ts = StarTimestamp(id=1, ctr=1, pre=0, post=INFINITY, center=0)
+        assert ts.n_elements == 4
+        assert ts.elements() == (1, 1, 0, INFINITY)

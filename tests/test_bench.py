@@ -53,3 +53,69 @@ def test_default_jobs_env(monkeypatch):
     assert default_jobs() == 1
     monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
     assert default_jobs() == 1
+
+
+def _seed_in_worker(coords):
+    return cell_seed(*coords)
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError(f"cell value {x} is cursed")
+    return x * 10
+
+
+def test_cell_seed_no_collisions_across_realistic_grid():
+    """Every cell of a realistic sweep grid gets a distinct seed."""
+    topologies = ["star", "cycle", "clique", "path", "double-star", "tree",
+                  "random"]
+    clocks = ["inline", "inline-star", "vector", "vector-sk", "lamport",
+              "encoded", "cluster", "plausible"]
+    seeds = {}
+    for base in (0, 1):
+        for topo in topologies:
+            for n in (2, 4, 8, 16, 32, 64):
+                for events in (5, 10, 20, 50, 100):
+                    for clock in clocks:
+                        for trial in range(5):
+                            s = cell_seed(base, topo, n, events, clock, trial)
+                            key = (base, topo, n, events, clock, trial)
+                            assert s not in seeds, (
+                                f"seed collision: {key} vs {seeds[s]}"
+                            )
+                            seeds[s] = key
+    assert len(seeds) == 2 * 7 * 6 * 5 * 8 * 5
+
+
+def test_cell_seed_reproduces_across_processes():
+    """repr-based hashing must not depend on per-process hash randomization."""
+    coords = [(0, "star", 8, "inline", t) for t in range(8)]
+    parent = [cell_seed(*c) for c in coords]
+    in_workers = parallel_map(_seed_in_worker, coords, jobs=4)
+    assert in_workers == parent
+
+
+def test_parallel_map_serial_names_failing_cell():
+    import pytest
+
+    from repro.bench import SweepCellError
+
+    with pytest.raises(SweepCellError) as excinfo:
+        parallel_map(_explode_on_three, [1, 2, 3, 4], jobs=1)
+    msg = str(excinfo.value)
+    assert "#2" in msg and "3" in msg  # index and coordinates
+    assert "cursed" in msg  # original error text
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_parallel_map_parallel_names_failing_cell():
+    import pytest
+
+    from repro.bench import SweepCellError
+
+    with pytest.raises(SweepCellError) as excinfo:
+        parallel_map(_explode_on_three, [1, 2, 3, 4], jobs=4)
+    msg = str(excinfo.value)
+    assert "#2" in msg and "3" in msg
+    assert "cursed" in msg
+    assert "ValueError" in excinfo.value.worker_traceback

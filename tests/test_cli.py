@@ -234,3 +234,130 @@ class TestMetricsReportTool:
             capture_output=True, text=True,
         )
         assert proc.returncode == 2
+
+
+class TestConformance:
+    def test_small_campaign_passes(self, capsys):
+        rc = main(["conformance", "--trials", "12", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "conformance: OK" in out
+        assert "exact-vs-hb" in out and "oracle-differential" in out
+
+    def test_topology_subset_and_report(self, tmp_path, capsys):
+        import json
+
+        report = tmp_path / "mismatches.jsonl"
+        rc = main(["conformance", "--trials", "6", "--seed", "1",
+                   "--topology", "star", "--report", str(report)])
+        capsys.readouterr()
+        assert rc == 0
+        lines = [json.loads(l) for l in report.read_text().splitlines()]
+        assert lines[0]["run"]["kind"] == "conformance"
+        summary = [r for r in lines if r.get("name") == "summary"]
+        assert summary and summary[0]["attrs"]["mismatches"] == 0
+
+    def test_corpus_replay(self, capsys):
+        from pathlib import Path
+
+        corpus = Path(__file__).resolve().parent / "conformance" / "corpus"
+        rc = main(["conformance", "--trials", "0", "--corpus", str(corpus)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "pinned case(s), 0 mismatch(es)" in out
+
+
+class TestBadPathExitCodes:
+    """Every subcommand must fail cleanly (stderr + exit 1) on bad input."""
+
+    def _expect_failure(self, capsys, argv):
+        rc = main(argv)
+        captured = capsys.readouterr()
+        assert rc == 1, f"{argv} returned {rc}"
+        assert "repro: error:" in captured.err, f"{argv}: no stderr message"
+
+    def test_simulate_unwritable_save_trace(self, tmp_path, capsys):
+        self._expect_failure(capsys, [
+            "simulate", "--n", "4", "--events", "4",
+            "--save-trace", str(tmp_path / "no" / "such" / "dir" / "t.json"),
+        ])
+
+    def test_simulate_unwritable_trace_out(self, tmp_path, capsys):
+        self._expect_failure(capsys, [
+            "simulate", "--n", "4", "--events", "4",
+            "--trace-out", str(tmp_path / "missing" / "t.jsonl"),
+        ])
+
+    def test_validate_missing_trace(self, tmp_path, capsys):
+        self._expect_failure(
+            capsys, ["validate", str(tmp_path / "nope.json")]
+        )
+
+    def test_validate_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        self._expect_failure(capsys, ["validate", str(bad)])
+
+    def test_metrics_missing_trace(self, tmp_path, capsys):
+        self._expect_failure(capsys, [
+            "metrics", "--from-trace", str(tmp_path / "nope.jsonl")
+        ])
+
+    def test_metrics_malformed_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not a trace\n")
+        self._expect_failure(capsys, ["metrics", "--from-trace", str(bad)])
+
+    def test_metrics_unwritable_output(self, tmp_path, capsys):
+        self._expect_failure(capsys, [
+            "metrics", "--n", "4", "--events", "4",
+            "--output", str(tmp_path / "no" / "dir" / "m.json"),
+        ])
+
+    def test_sizes_rejects_bad_n(self, capsys):
+        self._expect_failure(capsys, ["sizes", "--n", "0"])
+
+    def test_sizes_rejects_bad_k(self, capsys):
+        self._expect_failure(capsys, ["sizes", "--n", "8", "--k", "0"])
+
+    def test_sizes_rejects_cover_larger_than_n(self, capsys):
+        # used to print a nonsense table and exit 0
+        self._expect_failure(
+            capsys, ["sizes", "--n", "8", "--k", "100", "--cover", "20"]
+        )
+
+    def test_sizes_rejects_nonpositive_cover(self, capsys):
+        self._expect_failure(capsys, ["sizes", "--n", "8", "--cover", "0"])
+
+    def test_chaos_unwritable_trace_out(self, tmp_path, capsys):
+        self._expect_failure(capsys, [
+            "chaos", "--quick", "--n", "4", "--events", "4",
+            "--trace-out", str(tmp_path / "no" / "dir" / "t.jsonl"),
+        ])
+
+    def test_conformance_missing_corpus(self, tmp_path, capsys):
+        self._expect_failure(capsys, [
+            "conformance", "--trials", "0",
+            "--corpus", str(tmp_path / "no-corpus"),
+        ])
+
+    def test_conformance_unwritable_report(self, tmp_path, capsys):
+        self._expect_failure(capsys, [
+            "conformance", "--trials", "1",
+            "--report", str(tmp_path / "no" / "dir" / "r.jsonl"),
+        ])
+
+    def test_conformance_negative_trials(self, capsys):
+        self._expect_failure(capsys, ["conformance", "--trials", "-3"])
+
+    @pytest.mark.parametrize("argv", [
+        ["lower-bound", "9.9"],          # unknown lemma
+        ["sync", "--topology", "moon"],  # unknown topology
+        ["experiments", "--jobs", "x"],  # non-integer
+        ["simulate", "--transport", "pigeon"],
+    ])
+    def test_argparse_rejects_bad_choices(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "error" in capsys.readouterr().err
