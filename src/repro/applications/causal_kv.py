@@ -46,7 +46,13 @@ from repro.topology.graph import CommunicationGraph
 
 @dataclass(frozen=True)
 class StoreConfig:
-    """Sizing and workload knobs for one store deployment."""
+    """Sizing and workload knobs for one store deployment.
+
+    Validated at construction so both the simulator (:func:`run_store`) and
+    the live runtime (:mod:`repro.net`) reject nonsense configurations with
+    the same message; the CLI surfaces :class:`ValueError` through its
+    ``repro: error:`` path.
+    """
 
     n_sequencers: int = 2
     n_servers: int = 3
@@ -56,6 +62,26 @@ class StoreConfig:
     write_fraction: float = 0.5
     rate: float = 1.0
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("n_sequencers", "n_servers", "n_clients", "n_keys"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"{name} must be a positive integer, got {value!r}"
+                )
+        if not isinstance(self.ops_per_client, int) or self.ops_per_client < 0:
+            raise ValueError(
+                f"ops_per_client must be a non-negative integer, "
+                f"got {self.ops_per_client!r}"
+            )
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError(
+                f"write_fraction must be within [0, 1], "
+                f"got {self.write_fraction!r}"
+            )
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate!r}")
 
     def total_processes(self) -> int:
         return self.n_sequencers + self.n_servers + self.n_clients
@@ -452,65 +478,132 @@ def run_store(config: StoreConfig) -> StoreRunResult:
     )
 
 
-def verify_causal_reads(run: StoreRunResult) -> List[str]:
-    """Audit the run against the semantic causal order.
+@dataclass(frozen=True)
+class CausalViolation:
+    """One audited causal-consistency failure, with enough context to debug
+    a live run: which session, which key, what was expected vs observed, and
+    the dependency edge that was violated.
+
+    ``str()`` renders the historical human-readable message, so callers that
+    log strings and tests that compare against ``[]`` are unaffected.
+    """
+
+    kind: str  # "regression" | "stale-read"
+    client: ProcessId
+    session_index: int
+    key: str
+    observed_version: int
+    expected_version: int
+    #: the causal edge the read failed to respect: the operation (client,
+    #: session_index) that put ``expected_version`` of ``key`` into this
+    #: read's past, or ``None`` for a same-session regression.
+    dependency: Optional[Tuple[ProcessId, int]] = None
+
+    def __str__(self) -> str:
+        if self.kind == "regression":
+            return (
+                f"client p{self.client} saw {self.key} regress "
+                f"{self.expected_version} -> {self.observed_version}"
+            )
+        return (
+            f"read #{self.session_index} of {self.key} by p{self.client} "
+            f"returned v{self.observed_version} < causally required "
+            f"v{self.expected_version}"
+        )
+
+
+def audit_operations(
+    operations: List[Operation], writes: List[WriteRecord]
+) -> List[CausalViolation]:
+    """Audit completed operations against the semantic causal order.
 
     The causal order over operations is: same-session order, plus
     write → read-that-returns-it (reads-from), plus write inherits the
     issuing session's prefix, transitively.  Causal consistency requires a
     read of key ``k`` to return a version ≥ that of any same-key write in
-    its causal past.  Returns human-readable violation strings (empty list
-    = consistent).
+    its causal past.  Shared by the simulator (:func:`verify_causal_reads`)
+    and the live runtime (:mod:`repro.net.loadgen`); returns structured
+    :class:`CausalViolation` records (empty list = consistent).
     """
     by_client: Dict[ProcessId, List[Operation]] = {}
-    for op in run.operations:
+    for op in operations:
         by_client.setdefault(op.client, []).append(op)
     for ops in by_client.values():
         ops.sort(key=lambda o: o.session_index)
 
-    def past_max_versions(op: Operation) -> Dict[str, int]:
-        """Per-key max written version in *op*'s semantic causal past."""
-        best: Dict[str, int] = {}
+    def past_max_versions(
+        op: Operation,
+    ) -> Dict[str, Tuple[int, Tuple[ProcessId, int]]]:
+        """Per-key max written version in *op*'s semantic causal past,
+        together with the operation that pulled it into the past."""
+        best: Dict[str, Tuple[int, Tuple[ProcessId, int]]] = {}
         seen: Set[Tuple[ProcessId, int]] = set()
         stack: List[Tuple[ProcessId, int]] = [(op.client, op.session_index)]
+
+        def raise_to(key: str, version: int, via: Tuple[ProcessId, int]) -> None:
+            if version > best.get(key, (0, via))[0] or key not in best:
+                best[key] = (version, via)
+
         while stack:
             client, upto = stack.pop()
             for prev in by_client.get(client, [])[:upto]:
-                key = (prev.client, prev.session_index)
-                if key in seen:
+                ident = (prev.client, prev.session_index)
+                if ident in seen:
                     continue
-                seen.add(key)
+                seen.add(ident)
                 if prev.kind == "w":
-                    best[prev.key] = max(best.get(prev.key, 0), prev.version)
-                    w = run.writes[prev.write_index]  # type: ignore[index]
+                    raise_to(prev.key, prev.version, ident)
+                    w = writes[prev.write_index]  # type: ignore[index]
                     for dk, dv in w.deps.items():
-                        best[dk] = max(best.get(dk, 0), dv)
+                        raise_to(dk, dv, ident)
                 elif prev.write_index is not None:
-                    w = run.writes[prev.write_index]
-                    best[w.key] = max(best.get(w.key, 0), w.version)
+                    w = writes[prev.write_index]
+                    raise_to(w.key, w.version, ident)
                     for dk, dv in w.deps.items():
-                        best[dk] = max(best.get(dk, 0), dv)
+                        raise_to(dk, dv, ident)
                     stack.append((w.writer, w.writer_session_index))
         return best
 
-    problems: List[str] = []
+    problems: List[CausalViolation] = []
     last_seen: Dict[Tuple[ProcessId, str], int] = {}
-    for op in run.operations:
+    for op in operations:
         if op.kind != "r":
             continue
         keyed = (op.client, op.key)
         if op.version < last_seen.get(keyed, 0):
             problems.append(
-                f"client p{op.client} saw {op.key} regress "
-                f"{last_seen[keyed]} -> {op.version}"
+                CausalViolation(
+                    kind="regression",
+                    client=op.client,
+                    session_index=op.session_index,
+                    key=op.key,
+                    observed_version=op.version,
+                    expected_version=last_seen[keyed],
+                )
             )
         last_seen[keyed] = max(last_seen.get(keyed, 0), op.version)
 
         past = past_max_versions(op)
-        required = past.get(op.key, 0)
+        required, via = past.get(op.key, (0, (op.client, op.session_index)))
         if op.version < required:
             problems.append(
-                f"read #{op.session_index} of {op.key} by p{op.client} "
-                f"returned v{op.version} < causally required v{required}"
+                CausalViolation(
+                    kind="stale-read",
+                    client=op.client,
+                    session_index=op.session_index,
+                    key=op.key,
+                    observed_version=op.version,
+                    expected_version=required,
+                    dependency=via,
+                )
             )
     return problems
+
+
+def verify_causal_reads(run: StoreRunResult) -> List[CausalViolation]:
+    """Audit a simulated run; see :func:`audit_operations`.
+
+    Returns structured violations whose ``str()`` is the historical message;
+    an empty list still compares equal to ``[]``.
+    """
+    return audit_operations(run.operations, run.writes)

@@ -33,9 +33,11 @@ All output is plain text; exit status 0 means every check passed.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import random
+import signal
 import sys
-from typing import Dict, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from repro.analysis import (
     compare_sizes,
@@ -128,6 +130,29 @@ def _error(message: str) -> int:
     """Report a usage/environment failure on stderr; exit status 1."""
     print(f"repro: error: {message}", file=sys.stderr)
     return 1
+
+
+#: exit status for a run cut short by SIGINT/SIGTERM (128 + SIGINT)
+INTERRUPTED = 130
+
+
+@contextlib.contextmanager
+def _graceful_signals() -> Iterator[None]:
+    """Convert SIGTERM into :class:`KeyboardInterrupt` for the duration.
+
+    Long-running commands wrap their main loop in this so a supervisor's
+    SIGTERM unwinds through ``finally`` blocks — flushing trace/metrics
+    files — exactly like a ^C, instead of dying mid-write.
+    """
+
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _make_tracer(kind: str, **meta) -> RunTracer:
@@ -451,17 +476,32 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             quick=bool(args.quick),
             reliable=not args.unreliable,
         )
-    report = run_chaos(
-        graph,
-        factories,
-        scenarios=default_scenarios(graph.n_vertices, quick=args.quick),
-        events_per_process=args.events,
-        seed=args.seed,
-        reliable=not args.unreliable,
-        retry=retry,
-        jobs=args.jobs,
-        tracer=tracer,
-    )
+    try:
+        with _graceful_signals():
+            report = run_chaos(
+                graph,
+                factories,
+                scenarios=default_scenarios(graph.n_vertices, quick=args.quick),
+                events_per_process=args.events,
+                seed=args.seed,
+                reliable=not args.unreliable,
+                retry=retry,
+                jobs=args.jobs,
+                tracer=tracer,
+            )
+    except KeyboardInterrupt:
+        # flush whatever the sweep recorded before the signal, then report
+        # the interruption as a failure (partial sweeps prove nothing)
+        if tracer is not None:
+            try:
+                tracer.write(args.trace_out)
+                print(f"partial trace written to {args.trace_out}",
+                      file=sys.stderr)
+            except OSError as exc:
+                print(f"repro: error: cannot write trace "
+                      f"{args.trace_out}: {exc}", file=sys.stderr)
+        print("repro: error: chaos sweep interrupted", file=sys.stderr)
+        return INTERRUPTED
     transport = (
         "fire-and-forget"
         if args.unreliable
@@ -491,6 +531,246 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             return _error(f"cannot write trace {args.trace_out}: {exc}")
         print(f"structured trace written to {args.trace_out}")
     return 0 if report.ok else 1
+
+
+def _build_live_faults(loss: float, duplicate: float):
+    """Fault model for the live runtime from the CLI loss/dup knobs.
+
+    ``--loss r`` becomes a Gilbert–Elliott channel whose stationary mean
+    loss rate is exactly *r* (short bursts: enter with probability ``r``,
+    exit with ``1 - r``); ``--duplicate r`` duplicates that fraction of
+    frames.  Returns ``None`` when both are zero.
+    """
+    from repro.faults.models import (
+        CompositeFault,
+        DuplicationFault,
+        GilbertElliottLoss,
+    )
+
+    models = []
+    if loss > 0:
+        models.append(
+            GilbertElliottLoss(p_enter_burst=loss, p_exit_burst=1.0 - loss)
+        )
+    if duplicate > 0:
+        models.append(DuplicationFault(rate=duplicate))
+    if not models:
+        return None
+    return models[0] if len(models) == 1 else CompositeFault(models)
+
+
+def cmd_kv_live(args: argparse.Namespace) -> int:
+    """Boot a loopback cluster, load it, crash it, audit it.
+
+    The live counterpart of the Figure-4 store experiment: real sockets,
+    real wall-clock latencies, optional seeded loss/duplication and a
+    scripted mid-run sequencer crash-and-restart.  Exit status 0 iff every
+    session completed, the causal-read audit passed, no acknowledged write
+    was lost, and crash checkpoints were permanent.
+    """
+    import asyncio
+    import json
+
+    from repro.applications.causal_kv import StoreConfig
+    from repro.net import CrashPlan, TransportPolicy, run_live_store
+
+    try:
+        config = StoreConfig(
+            n_sequencers=args.sequencers,
+            n_servers=args.servers,
+            n_clients=args.clients,
+            n_keys=args.keys,
+            ops_per_client=args.ops,
+            write_fraction=args.write_fraction,
+            seed=args.seed,
+        )
+        fault_model = _build_live_faults(args.loss, args.duplicate)
+        policy = TransportPolicy(
+            request_timeout=args.timeout,
+            max_retries=args.max_retries,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        return _error(str(exc))
+    crash_plan = None
+    if args.kill_sequencer is not None:
+        if not 0 <= args.kill_sequencer < args.sequencers:
+            return _error(
+                f"--kill-sequencer must name a sequencer index in "
+                f"[0, {args.sequencers}), got {args.kill_sequencer}"
+            )
+        total = args.clients * args.ops
+        after = args.kill_after_ops
+        if after is None:
+            after = max(1, total // 4)
+        crash_plan = CrashPlan(
+            pid=args.kill_sequencer, after_ops=after, downtime=args.downtime
+        )
+    clock_name = None if args.clock == "none" else args.clock
+    registry = MetricsRegistry()
+    tracer = _make_tracer(
+        "kv-live",
+        sequencers=args.sequencers,
+        servers=args.servers,
+        clients=args.clients,
+        ops=args.ops,
+        seed=args.seed,
+        clock=args.clock,
+        loss=args.loss,
+        duplicate=args.duplicate,
+        kill=args.kill_sequencer,
+    )
+
+    async def _run():
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        runner = asyncio.ensure_future(
+            run_live_store(
+                config,
+                clock_name=clock_name,
+                fault_model=fault_model,
+                crash_plan=crash_plan,
+                policy=policy,
+                registry=registry,
+                compare_sim=args.compare_sim,
+                stopping=stop.is_set,
+            )
+        )
+        waiter = asyncio.ensure_future(stop.wait())
+        done, _pending = await asyncio.wait(
+            {runner, waiter}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if runner in done:
+            waiter.cancel()
+            return runner.result(), False
+        runner.cancel()
+        await asyncio.gather(runner, return_exceptions=True)
+        return None, True
+
+    try:
+        report, interrupted = asyncio.run(_run())
+    except ValueError as exc:
+        return _error(str(exc))
+
+    def _flush_trace() -> Optional[int]:
+        if not args.trace_out:
+            return None
+        tracer.snapshot_metrics("run", registry)
+        try:
+            tracer.write(args.trace_out)
+        except OSError as exc:
+            return _error(f"cannot write trace {args.trace_out}: {exc}")
+        print(f"structured trace written to {args.trace_out}")
+        return None
+
+    if interrupted:
+        tracer.event("interrupted")
+        rc = _flush_trace()
+        if rc is not None:
+            return rc
+        print("repro: error: kv-live interrupted", file=sys.stderr)
+        return INTERRUPTED
+    tracer.event("live-report", **{
+        k: v for k, v in report.as_dict().items()
+        if k not in ("latency_cdf", "counters", "sim_prediction")
+    })
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    rc = _flush_trace()
+    if rc is not None:
+        return rc
+    return 0 if report.ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run one store node in this OS process (clockless).
+
+    Peers are found through a shared JSON address book; each node registers
+    its ephemeral port there on startup.  Sequencer and server nodes serve
+    until SIGINT/SIGTERM (a clean stop exits 0); a client node runs its
+    closed-loop session to completion and exits.  The in-process clock seam
+    needs shared algorithm state, so multi-process deployments run without
+    a timestamping scheme attached — use ``kv-live`` to measure clocks.
+    """
+    import asyncio
+
+    from repro.applications.causal_kv import StoreConfig
+    from repro.net import (
+        ClusterSpec,
+        FileAddressBook,
+        TransportPolicy,
+        make_node,
+    )
+
+    try:
+        config = StoreConfig(
+            n_sequencers=args.sequencers,
+            n_servers=args.servers,
+            n_clients=args.clients,
+            n_keys=args.keys,
+            ops_per_client=args.ops,
+            write_fraction=args.write_fraction,
+            seed=args.seed,
+        )
+        spec = ClusterSpec(config)
+        policy = TransportPolicy(
+            request_timeout=args.timeout, seed=args.seed
+        )
+    except ValueError as exc:
+        return _error(str(exc))
+    if not 0 <= args.pid < spec.n_processes:
+        return _error(
+            f"--pid must be in [0, {spec.n_processes}) for this cluster, "
+            f"got {args.pid}"
+        )
+
+    async def _run() -> int:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        book = FileAddressBook(args.address_book)
+        node = make_node(args.pid, spec, book, policy)
+        host, port = await node.start()
+        print(
+            f"repro serve: {node.role} p{args.pid} listening on "
+            f"{host}:{port} (book: {args.address_book})",
+            flush=True,
+        )
+        try:
+            if node.role == "client":
+                session = asyncio.ensure_future(node.run_session())
+                waiter = asyncio.ensure_future(stop.wait())
+                done, _pending = await asyncio.wait(
+                    {session, waiter}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if session in done:
+                    waiter.cancel()
+                    session.result()
+                    ops = len(node.operations)
+                    lat = sorted(node.latencies_ms)
+                    p50 = lat[len(lat) // 2] if lat else 0.0
+                    print(
+                        f"repro serve: client p{args.pid} completed "
+                        f"{ops} ops (p50 {p50:.1f} ms)"
+                    )
+                    return 0
+                session.cancel()
+                await asyncio.gather(session, return_exceptions=True)
+                print("repro: error: client session interrupted",
+                      file=sys.stderr)
+                return INTERRUPTED
+            await stop.wait()
+            print(f"repro serve: p{args.pid} shutting down")
+            return 0
+        finally:
+            await node.stop()
+
+    return asyncio.run(_run())
 
 
 def _star_size_row(n: int):
@@ -806,6 +1086,65 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write a structured JSONL sweep trace "
                    "(byte-identical for any --jobs)")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "kv-live",
+        help="boot a live loopback KV cluster, load it, crash it, audit it",
+    )
+    p.add_argument("--sequencers", type=int, default=2)
+    p.add_argument("--servers", type=int, default=3)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--keys", type=int, default=4)
+    p.add_argument("--ops", type=int, default=10,
+                   help="operations per client session")
+    p.add_argument("--write-fraction", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--clock", default="inline",
+                   choices=["inline", "inline-cover", "vector", "lamport",
+                            "hlc", "cluster", "encoded", "plausible", "none"],
+                   help="timestamping scheme hosted on the clock seam")
+    p.add_argument("--loss", type=float, default=0.0,
+                   help="mean Gilbert-Elliott frame loss rate, e.g. 0.05")
+    p.add_argument("--duplicate", type=float, default=0.0,
+                   help="frame duplication probability")
+    p.add_argument("--kill-sequencer", type=int, default=None,
+                   metavar="IDX",
+                   help="crash this sequencer mid-run and restart it")
+    p.add_argument("--kill-after-ops", type=int, default=None,
+                   help="operations to complete before the crash "
+                   "(default: a quarter of the total)")
+    p.add_argument("--downtime", type=float, default=0.5,
+                   help="seconds the killed sequencer stays down")
+    p.add_argument("--timeout", type=float, default=0.25,
+                   help="per-attempt request timeout in seconds")
+    p.add_argument("--max-retries", type=int, default=5)
+    p.add_argument("--compare-sim", action="store_true",
+                   help="run the simulator on the same config and report "
+                   "its prediction alongside")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write a structured JSONL run trace (repro.obs)")
+    p.set_defaults(fn=cmd_kv_live)
+
+    p = sub.add_parser(
+        "serve",
+        help="run one live store node in this process (shared address book)",
+    )
+    p.add_argument("--pid", type=int, required=True,
+                   help="process id of this node in the cluster layout")
+    p.add_argument("--address-book", required=True, metavar="PATH",
+                   help="shared JSON file mapping process ids to addresses")
+    p.add_argument("--sequencers", type=int, default=2)
+    p.add_argument("--servers", type=int, default=3)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--keys", type=int, default=4)
+    p.add_argument("--ops", type=int, default=10)
+    p.add_argument("--write-fraction", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=0.5,
+                   help="per-attempt request timeout in seconds")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
         "sync", help="timed synchronous run with component timestamps"

@@ -1,0 +1,108 @@
+"""Fault interposition for live connections.
+
+The simulator consults a :class:`repro.faults.models.FaultModel` once per
+injected message; :class:`ChaosInterposer` gives live TCP endpoints the same
+seam.  Every frame about to be written — requests, responses, replication,
+control traffic — asks the interposer for a fate first:
+
+- ``0`` copies: the frame is silently not written (a network drop).  The
+  transport's retransmission machinery is what recovers, exactly as it
+  would from real loss.
+- ``1`` copy: normal delivery.
+- ``k > 1`` copies: the frame is written *k* times; receiver-side dedup
+  (request ids at the RPC layer, message/control ids at the clock seam)
+  must absorb the duplicates.
+
+Partitions and crash windows come along for free: a
+:class:`~repro.faults.models.PartitionFault` drops frames crossing the cut,
+and :meth:`ChaosInterposer.process_up` lets a supervisor align live crash
+windows with a :class:`~repro.faults.models.CrashSchedule`.
+
+Determinism: the fate sequence is driven by a private ``random.Random``
+seeded at construction, so a given (seed, channel, frame-ordinal) schedule
+of drops/duplications is reproducible run to run.  Wall-clock *timing* of a
+live run is inherently nondeterministic; what the seed pins down is the
+loss/duplication pattern each channel experiences, which is the part the
+robustness assertions depend on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional
+
+from repro.faults.models import FaultModel
+
+#: clock used to position time-windowed faults (partitions, crash windows)
+Clock = Callable[[], float]
+
+
+class ChaosInterposer:
+    """Adapts a :class:`FaultModel` to live framed connections.
+
+    ``now()`` reports seconds since construction (monotonic) by default;
+    time-windowed models (:class:`~repro.faults.models.PartitionFault`)
+    therefore use *real seconds* as their virtual-time axis.  Pass
+    ``time_scale`` to stretch or compress a schedule authored in simulator
+    time units onto wall time.
+    """
+
+    def __init__(
+        self,
+        model: Optional[FaultModel] = None,
+        seed: int = 0,
+        time_scale: float = 1.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self._model = model
+        self._rng = random.Random(seed)
+        self._scale = time_scale
+        self._t0 = time.monotonic()
+        self._clock = clock
+        self._enabled = True
+        if model is not None:
+            model.reset(self._rng)
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """The fault schedule's current instant (scaled seconds since start)."""
+        if self._clock is not None:
+            return self._clock() / self._scale
+        return (time.monotonic() - self._t0) / self._scale
+
+    def enable(self, on: bool = True) -> None:
+        """Master switch — loadgen drains with faults off after the run."""
+        self._enabled = on
+
+    # ------------------------------------------------------------------
+    def frame_copies(self, src: int, dst: int) -> int:
+        """How many copies of the next ``src -> dst`` frame to write.
+
+        ``0`` means drop.  A frame to or from a process that the model holds
+        down is dropped too — a crashed endpoint neither sends nor receives.
+        """
+        if self._model is None or not self._enabled:
+            return 1
+        now = self.now()
+        if not (
+            self._model.process_up(src, now) and self._model.process_up(dst, now)
+        ):
+            return 0
+        fate = self._model.message_fate(src, dst, now, self._rng)
+        if fate.drop:
+            return 0
+        return fate.copies
+
+    def process_up(self, proc: int) -> bool:
+        """Whether the model considers *proc* alive right now."""
+        if self._model is None or not self._enabled:
+            return True
+        return self._model.process_up(proc, self.now())
+
+    def describe(self) -> str:
+        if self._model is None:
+            return "no faults"
+        return self._model.describe()

@@ -1,0 +1,440 @@
+"""Closed-loop load generation and reporting for the live KV store.
+
+:func:`run_live_store` is the live counterpart of
+:func:`repro.applications.causal_kv.run_store`: it boots a loopback cluster
+for a :class:`~repro.applications.causal_kv.StoreConfig`, drives every
+client session to completion under an optional fault model and scripted
+sequencer crash, quiesces, and audits the run post hoc with the *same*
+:func:`~repro.applications.causal_kv.audit_operations` the simulator uses.
+
+The emitted :class:`LiveReport` carries:
+
+- wall-clock latency samples (per-operation, closed loop) with a CDF and
+  the usual percentiles, plus throughput;
+- the causal audit (structured :class:`CausalViolation` records) and the
+  count of *lost acknowledged writes* — writes a client saw acknowledged
+  whose version is absent from the primaries' durable commit logs (zero in
+  a correct deployment, crashes and all);
+- clock-seam statistics (events observed, finalized fraction before the
+  termination flush, max timestamp elements) and the crash-checkpoint
+  permanence audit from the supervisor;
+- the full ``net.*`` metrics registry snapshot;
+- optionally, the simulator's prediction for the identical config, so live
+  and simulated behaviour sit side by side in one artifact.
+
+Clock schemes are built by :func:`build_live_clock`; schemes that require
+reliable FIFO application channels (``vector-sk``) are rejected up front —
+the live transport retransmits and reorders, which their differential
+encoding cannot tolerate.  ``hlc`` gets a real wall-clock time source here,
+exercising the baseline honestly for the first time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.applications.causal_kv import (
+    CausalViolation,
+    StoreConfig,
+    audit_operations,
+    run_store,
+)
+from repro.clocks.base import ClockAlgorithm
+from repro.faults.models import FaultModel
+from repro.net.chaos_proxy import ChaosInterposer
+from repro.net.node import (
+    ClientNode,
+    ClusterSpec,
+    AddressBook,
+    LiveClockHost,
+    ServerNode,
+    TransportPolicy,
+    collect_writes,
+    link_operations,
+    make_node,
+)
+from repro.net.supervisor import CrashPlan, Supervisor
+from repro.obs import MetricsRegistry, counter, use_registry
+
+#: schemes runnable on the live transport, by CLI name
+LIVE_CLOCKS = (
+    "inline",
+    "inline-cover",
+    "vector",
+    "lamport",
+    "hlc",
+    "cluster",
+    "encoded",
+    "plausible",
+)
+
+
+def build_live_clock(name: str, spec: ClusterSpec) -> ClockAlgorithm:
+    """Construct a registered scheme sized for the live cluster graph."""
+    n = spec.n_processes
+    if name in ("inline", "inline-cover"):
+        from repro.clocks.inline_cover import CoverInlineClock
+
+        return CoverInlineClock(spec.graph, tuple(spec.sequencers))
+    if name == "vector":
+        from repro.clocks.vector import VectorClock
+
+        return VectorClock(n)
+    if name == "lamport":
+        from repro.clocks.lamport import LamportClock
+
+        return LamportClock(n)
+    if name == "hlc":
+        from repro.baselines.hlc import HybridLogicalClock
+
+        return HybridLogicalClock(n, time_source=lambda _p: time.time())
+    if name == "cluster":
+        from repro.baselines import ClusterClock
+
+        return ClusterClock(n)
+    if name == "encoded":
+        from repro.baselines import EncodedClock
+
+        return EncodedClock(n)
+    if name == "plausible":
+        from repro.baselines import PlausibleClock
+
+        return PlausibleClock(n, max(1, n // 3))
+    if name == "vector-sk":
+        raise ValueError(
+            "vector-sk requires reliable FIFO application channels; the live "
+            "transport retransmits and reorders, so it cannot host it"
+        )
+    raise ValueError(f"unknown clock {name!r} (live choices: {LIVE_CLOCKS})")
+
+
+def _percentile(sorted_values: List[float], p: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(p * len(sorted_values)))
+    return sorted_values[idx]
+
+
+@dataclass
+class LiveReport:
+    """Everything one live deployment produced."""
+
+    config: StoreConfig
+    clock: Optional[str]
+    duration_s: float
+    ops_completed: int
+    latencies_ms: List[float]  # sorted ascending
+    violations: List[CausalViolation]
+    lost_acked_writes: int
+    failovers: int
+    checkpoint_problems: List[str] = field(default_factory=list)
+    clock_stats: Dict[str, Any] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    sim_prediction: Optional[Dict[str, Any]] = None
+    fault_description: str = "no faults"
+
+    @property
+    def throughput(self) -> float:
+        return self.ops_completed / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """The acceptance predicate: audit clean, nothing acked was lost,
+        every session ran to completion, checkpoints permanent."""
+        expected = self.config.n_clients * self.config.ops_per_client
+        return (
+            not self.violations
+            and self.lost_acked_writes == 0
+            and self.ops_completed == expected
+            and not self.checkpoint_problems
+        )
+
+    def percentile(self, p: float) -> float:
+        return _percentile(self.latencies_ms, p)
+
+    def latency_cdf(self, points: int = 20) -> List[Tuple[float, float]]:
+        """``(latency_ms, fraction_of_ops_at_or_below)`` sample points."""
+        n = len(self.latencies_ms)
+        if n == 0:
+            return []
+        out = []
+        for i in range(1, points + 1):
+            frac = i / points
+            out.append((_percentile(self.latencies_ms, frac - 1e-9), frac))
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "config": {
+                "n_sequencers": self.config.n_sequencers,
+                "n_servers": self.config.n_servers,
+                "n_clients": self.config.n_clients,
+                "n_keys": self.config.n_keys,
+                "ops_per_client": self.config.ops_per_client,
+                "write_fraction": self.config.write_fraction,
+                "seed": self.config.seed,
+            },
+            "clock": self.clock,
+            "faults": self.fault_description,
+            "duration_s": round(self.duration_s, 3),
+            "ops_completed": self.ops_completed,
+            "throughput_ops_s": round(self.throughput, 1),
+            "latency_ms": {
+                "mean": round(
+                    sum(self.latencies_ms) / len(self.latencies_ms), 3
+                )
+                if self.latencies_ms
+                else 0.0,
+                "p50": round(self.percentile(0.50), 3),
+                "p95": round(self.percentile(0.95), 3),
+                "p99": round(self.percentile(0.99), 3),
+                "max": round(self.latencies_ms[-1], 3)
+                if self.latencies_ms
+                else 0.0,
+            },
+            "latency_cdf": [
+                [round(ms, 3), round(frac, 3)]
+                for ms, frac in self.latency_cdf()
+            ],
+            "violations": [str(v) for v in self.violations],
+            "lost_acked_writes": self.lost_acked_writes,
+            "failovers": self.failovers,
+            "checkpoint_problems": self.checkpoint_problems,
+            "clock_stats": self.clock_stats,
+            "counters": self.counters,
+            "sim_prediction": self.sim_prediction,
+            "ok": self.ok,
+        }
+
+    def render(self) -> str:
+        d = self.as_dict()
+        lines = [
+            f"live run: {self.config.n_sequencers} sequencers, "
+            f"{self.config.n_servers} servers, {self.config.n_clients} "
+            f"clients, {self.ops_completed} ops in {self.duration_s:.2f}s "
+            f"({self.throughput:.1f} op/s)",
+            f"  clock: {self.clock or 'none'}   faults: "
+            f"{self.fault_description}",
+            f"  latency ms: p50={d['latency_ms']['p50']} "
+            f"p95={d['latency_ms']['p95']} p99={d['latency_ms']['p99']} "
+            f"max={d['latency_ms']['max']}",
+            f"  causal audit: {len(self.violations)} violation(s); "
+            f"lost acked writes: {self.lost_acked_writes}; "
+            f"failovers: {self.failovers}",
+        ]
+        if self.counters:
+            interesting = (
+                "net.retransmits",
+                "net.drops_injected",
+                "net.dups_injected",
+                "net.dedup_hits",
+                "net.reconnects",
+                "net.crashes",
+                "net.restarts",
+            )
+            parts = [
+                f"{k.split('.', 1)[1]}={self.counters[k]}"
+                for k in interesting
+                if k in self.counters
+            ]
+            lines.append("  transport: " + " ".join(parts))
+        if self.clock_stats:
+            cs = self.clock_stats
+            lines.append(
+                f"  clock seam: {cs.get('events', 0)} events, "
+                f"{cs.get('finalized_fraction', 1.0):.1%} finalized online, "
+                f"max {cs.get('max_elements', 0)} elements"
+            )
+        if self.checkpoint_problems:
+            lines.append(
+                f"  checkpoint permanence: "
+                f"{len(self.checkpoint_problems)} problem(s)"
+            )
+        if self.sim_prediction:
+            sp = self.sim_prediction
+            lines.append(
+                f"  simulator prediction (same config): "
+                f"{sp['completed_operations']} ops, inline ts <= "
+                f"{sp['inline_max_elements']} elements (vector: "
+                f"{sp['vector_elements']}), audit "
+                f"{'clean' if not sp['violations'] else 'FAILED'}"
+            )
+        lines.append(f"  verdict: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def simulator_prediction(config: StoreConfig) -> Dict[str, Any]:
+    """The virtual-time simulator's run of the identical config."""
+    run = run_store(config)
+    violations = [str(v) for v in audit_operations(run.operations, run.writes)]
+    return {
+        "completed_operations": run.completed_operations,
+        "inline_max_elements": run.inline_max_elements,
+        "vector_elements": run.vector_elements,
+        "data_hops": run.traffic.data_hops,
+        "meta_hops": run.traffic.meta_hops,
+        "violations": violations,
+    }
+
+
+async def run_live_store(
+    config: StoreConfig,
+    clock_name: Optional[str] = None,
+    fault_model: Optional[FaultModel] = None,
+    crash_plan: Optional[CrashPlan] = None,
+    policy: Optional[TransportPolicy] = None,
+    registry: Optional[MetricsRegistry] = None,
+    compare_sim: bool = False,
+    time_scale: float = 1.0,
+    stopping: Optional[Callable[[], bool]] = None,
+) -> LiveReport:
+    """Deploy, load, crash, recover, quiesce, audit.  The whole experiment.
+
+    ``stopping`` is polled between operations-in-flight checks by the crash
+    watcher; a graceful-shutdown handler can flip it to abandon the scripted
+    crash early (sessions themselves finish their in-flight operation and
+    are cancelled by the caller's signal handling).
+    """
+    spec = ClusterSpec(config)
+    registry = registry or MetricsRegistry()
+    policy = policy or TransportPolicy(
+        request_timeout=0.25, max_retries=5, seed=config.seed
+    )
+    with use_registry(registry):
+        interposer = ChaosInterposer(
+            fault_model, seed=config.seed, time_scale=time_scale
+        )
+        clock_host: Optional[LiveClockHost] = None
+        clock_factory: Optional[Callable[[], ClockAlgorithm]] = None
+        if clock_name is not None:
+            clock_factory = lambda: build_live_clock(clock_name, spec)  # noqa: E731
+            clock_host = LiveClockHost(clock_factory(), spec)
+        book = AddressBook()
+        supervisor = Supervisor(clock_host)
+        for pid in range(spec.n_processes):
+            supervisor.register(
+                pid,
+                lambda p=pid: make_node(
+                    p, spec, book, policy, interposer, clock_host
+                ),
+            )
+        await supervisor.start_all()
+
+        async def crash_watcher() -> None:
+            assert crash_plan is not None
+            done = counter("net.ops_completed")
+            while done.value < crash_plan.after_ops:
+                if stopping is not None and stopping():
+                    return
+                await asyncio.sleep(0.01)
+            await supervisor.crash_and_restart(
+                crash_plan.pid, crash_plan.downtime
+            )
+
+        watcher: Optional[asyncio.Task] = None
+        if crash_plan is not None:
+            watcher = asyncio.ensure_future(crash_watcher())
+
+        clients: List[ClientNode] = [
+            supervisor.nodes[pid]  # type: ignore[misc]
+            for pid in spec.clients
+        ]
+        started = time.monotonic()
+        try:
+            await asyncio.gather(*(c.run_session() for c in clients))
+        finally:
+            if watcher is not None:
+                if not watcher.done():
+                    # sessions ended before the scripted crash fired (or we
+                    # are unwinding on error): run it down or abandon it
+                    if counter("net.ops_completed").value >= (
+                        crash_plan.after_ops if crash_plan else 0
+                    ):
+                        await watcher
+                    else:
+                        watcher.cancel()
+                        await asyncio.gather(watcher, return_exceptions=True)
+                else:
+                    watcher.result()  # surface crash/restart failures
+        duration = time.monotonic() - started
+
+        # quiesce: stop injecting faults, let replication and control
+        # traffic drain so the audit sees the settled state
+        interposer.enable(False)
+        servers: List[ServerNode] = [
+            supervisor.nodes[pid]  # type: ignore[misc]
+            for pid in spec.servers
+        ]
+        for node in supervisor.nodes.values():
+            await node.drain()
+        for node in supervisor.nodes.values():  # control spawned by drains
+            await node.drain()
+
+        clock_stats: Dict[str, Any] = {}
+        checkpoint_problems: List[str] = []
+        if clock_host is not None and clock_factory is not None:
+            clock_stats = clock_host.stats()  # online finalization fraction
+            clock_host.clock.finalize_at_termination()
+            flushed = clock_host.stats()
+            clock_stats["max_elements"] = flushed["max_elements"]
+            clock_stats["finalized_after_flush"] = flushed["finalized"]
+            checkpoint_problems = supervisor.verify_clock_checkpoints(
+                clock_factory
+            )
+
+        writes, index = collect_writes(servers)
+        operations, lost = link_operations(clients, index)
+        violations = audit_operations(operations, writes)
+        failovers = sum(c.failovers for c in clients)
+
+        await supervisor.stop_all()
+
+        counters = {
+            name: registry.counter_value(name)
+            for name in (
+                "net.frames_sent",
+                "net.frames_received",
+                "net.retransmits",
+                "net.request_timeouts",
+                "net.drops_injected",
+                "net.dups_injected",
+                "net.dedup_hits",
+                "net.commit_dedup",
+                "net.reconnects",
+                "net.connect_failures",
+                "net.failovers",
+                "net.crashes",
+                "net.restarts",
+                "net.repl_failures",
+                "net.ctl_lost",
+            )
+        }
+
+    sim_prediction = simulator_prediction(config) if compare_sim else None
+    return LiveReport(
+        config=config,
+        clock=clock_name,
+        duration_s=duration,
+        ops_completed=sum(len(c.operations) for c in clients),
+        latencies_ms=sorted(
+            ms for c in clients for ms in c.latencies_ms
+        ),
+        violations=violations,
+        lost_acked_writes=lost,
+        failovers=failovers,
+        checkpoint_problems=checkpoint_problems,
+        clock_stats=clock_stats,
+        counters=counters,
+        metrics=registry.as_dict(),
+        sim_prediction=sim_prediction,
+        fault_description=interposer.describe(),
+    )
+
+
+def run_live_store_sync(*args: Any, **kwargs: Any) -> LiveReport:
+    """Blocking wrapper around :func:`run_live_store` for CLI/tests."""
+    return asyncio.run(run_live_store(*args, **kwargs))

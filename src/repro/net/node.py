@@ -1,0 +1,854 @@
+"""Live client/sequencer/server nodes for the Figure-4 causal KV store.
+
+This is the real-socket port of :mod:`repro.applications.causal_kv`: the
+same roles, routing discipline, and session-causal guard, but running on
+asyncio TCP via :mod:`repro.net.transport` instead of the virtual-time
+simulator.  One OS process hosts any number of nodes (the loopback cluster
+used by ``repro kv-live`` and the tests), or a single node per process via
+``repro serve`` with a shared JSON address book.
+
+Routing follows the Figure-4 communication graph exactly: clients and
+servers talk only to the sequencers they are attached to, sequencers form a
+clique, and any message to a non-adjacent process is relayed through the
+target's home sequencer (at most one relay hop, since the sequencer mesh is
+complete).  Keeping every hop on a graph edge is what lets a real
+:class:`~repro.clocks.base.ClockAlgorithm` — in particular the paper's
+:class:`~repro.clocks.inline_cover.CoverInlineClock`, whose timestamps are
+sized by the sequencer vertex cover — observe the live run unchanged.
+
+The **clock seam** is :class:`LiveClockHost`: every framed request and
+response between adjacent processes is an application message carrying a
+clock envelope (send-event payload), the receiving node replays it into the
+algorithm, and any control messages the algorithm emits are shipped back
+over TCP on a per-channel FIFO (sequence-numbered, retransmitted,
+deduplicated).  Any of the nine registered schemes drops in; duplicated
+frames are absorbed by message-id dedup so at-least-once delivery never
+produces a second receive event.
+
+Robustness properties the nodes provide:
+
+- **Exactly-once commits.**  Write commits are deduplicated by the client's
+  operation id (``orid``) *at the primary*, and the dedup table is part of
+  the server's durable checkpoint — so retransmissions, duplicated frames,
+  and client failover between sequencers can never double-commit.
+- **Sequencer failover.**  A client attaches to two sequencers (when the
+  deployment has two or more) and fails over when its home sequencer is
+  slow or down — the live analogue of the paper's claim that delayed
+  finalization tolerates slow paths: progress rides the healthy route while
+  the slow sequencer's control traffic catches up later.
+- **Deferred reads.**  A server holds a read until its replica satisfies
+  the session's dependency map, then answers from its finalized prefix,
+  yielding session-causal consistency by construction (audited post hoc by
+  :func:`repro.applications.causal_kv.audit_operations`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.applications.causal_kv import Operation, StoreConfig, WriteRecord
+from repro.clocks.base import ClockAlgorithm
+from repro.core.events import Event, EventId, EventKind, ProcessId
+from repro.net.chaos_proxy import ChaosInterposer
+from repro.net.transport import (
+    PeerClient,
+    RequestTimeout,
+    RpcServer,
+    TransportError,
+    TransportPolicy,
+    pack_payload,
+    unpack_payload,
+)
+from repro.obs import counter, metric
+from repro.topology.generators import sequencer_architecture
+from repro.topology.graph import CommunicationGraph
+
+#: bucket ladder for live (millisecond) latencies
+MS_BUCKETS: Tuple[float, ...] = (
+    0.5, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096,
+)
+
+
+class LiveRunError(Exception):
+    """An operation could not complete within its deadline."""
+
+
+# ----------------------------------------------------------------------
+# address books
+# ----------------------------------------------------------------------
+class AddressBook:
+    """Process id → (host, port), re-resolved on every connection attempt."""
+
+    def __init__(self) -> None:
+        self._addrs: Dict[int, Tuple[str, int]] = {}
+
+    def set(self, proc: int, addr: Tuple[str, int]) -> None:
+        self._addrs[proc] = (addr[0], int(addr[1]))
+
+    def get(self, proc: int) -> Tuple[str, int]:
+        addr = self._addrs.get(proc)
+        if addr is None:
+            raise TransportError(f"no address registered for p{proc}")
+        return addr
+
+
+class FileAddressBook(AddressBook):
+    """Address book shared between OS processes through a JSON file.
+
+    ``repro serve`` nodes register themselves by rewriting the file; lookups
+    re-read it, so peers started later (or restarted on a new port) are
+    found without coordination beyond the shared path.
+    """
+
+    def __init__(self, path: str) -> None:
+        super().__init__()
+        self._path = path
+
+    def _load(self) -> Dict[int, Tuple[str, int]]:
+        try:
+            with open(self._path) as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        return {int(k): (v[0], int(v[1])) for k, v in raw.items()}
+
+    def set(self, proc: int, addr: Tuple[str, int]) -> None:
+        entries = self._load()
+        entries[proc] = (addr[0], int(addr[1]))
+        tmp = f"{self._path}.tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump({str(k): list(v) for k, v in entries.items()}, fh)
+        os.replace(tmp, self._path)
+
+    def get(self, proc: int) -> Tuple[str, int]:
+        addr = self._load().get(proc)
+        if addr is None:
+            raise TransportError(f"p{proc} not in address book {self._path}")
+        return addr
+
+
+# ----------------------------------------------------------------------
+# cluster shape
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Roles and routing for one live deployment of a :class:`StoreConfig`.
+
+    Mirrors the simulator's role layout (process ids ``0..S-1`` are
+    sequencers, then servers, then clients) but attaches every client and
+    server to *two* sequencers when available, so a node always has a
+    failover route that stays on a graph edge.
+    """
+
+    config: StoreConfig
+    host: str = "127.0.0.1"
+    graph: CommunicationGraph = field(init=False, compare=False)
+    sequencers: Tuple[int, ...] = field(init=False, compare=False)
+
+    def __post_init__(self) -> None:
+        c = self.config
+        graph, seqs = sequencer_architecture(
+            c.n_sequencers,
+            c.n_servers,
+            c.n_clients,
+            attachments_per_node=min(2, c.n_sequencers),
+        )
+        object.__setattr__(self, "graph", graph)
+        object.__setattr__(self, "sequencers", tuple(seqs))
+
+    @property
+    def n_processes(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def servers(self) -> List[int]:
+        s = self.config.n_sequencers
+        return list(range(s, s + self.config.n_servers))
+
+    @property
+    def clients(self) -> List[int]:
+        s = self.config.n_sequencers + self.config.n_servers
+        return list(range(s, self.n_processes))
+
+    def role_of(self, pid: int) -> str:
+        if pid in self.sequencers:
+            return "sequencer"
+        return "server" if pid in self.servers else "client"
+
+    def attached(self, pid: int) -> List[int]:
+        """Sequencers adjacent to *pid* (home first)."""
+        if pid in self.sequencers:
+            return [pid]
+        return sorted(set(self.graph.neighbors(pid)) & set(self.sequencers))
+
+    def home(self, pid: int) -> int:
+        return self.attached(pid)[0]
+
+    def primary_of(self, key: str) -> int:
+        return self.servers[int(key[1:]) % self.config.n_servers]
+
+    def next_hop(self, here: int, target: int) -> int:
+        """One routing step toward *target* along graph edges."""
+        if self.graph.has_edge(here, target):
+            return target
+        if here in self.sequencers:
+            return self.home(target)
+        return self.home(here)
+
+
+# ----------------------------------------------------------------------
+# the pluggable clock seam
+# ----------------------------------------------------------------------
+class LiveClockHost:
+    """Hosts one :class:`ClockAlgorithm` over the live message flow.
+
+    The host owns event-index allocation (per process, contiguous from 1),
+    message ids, receive-side dedup, and FIFO sequencing of control
+    messages, so the algorithm observes exactly the execution model it was
+    written for even though the wire may duplicate or reorder frames.
+    Single-threaded by construction: all entry points are synchronous and
+    run on the event loop thread.
+    """
+
+    def __init__(self, clock: ClockAlgorithm, spec: ClusterSpec) -> None:
+        if clock.n_processes != spec.n_processes:
+            raise ValueError(
+                f"clock built for {clock.n_processes} processes, "
+                f"cluster has {spec.n_processes}"
+            )
+        self.clock = clock
+        self._spec = spec
+        self._next_index = [0] * spec.n_processes
+        self._next_mid = itertools.count()
+        self._received: Set[int] = set()
+        self._events: List[Event] = []
+        self._ctrl_seq: Dict[Tuple[int, int], int] = {}
+        self._ctrl_expect: Dict[Tuple[int, int], int] = {}
+        self._ctrl_buffer: Dict[Tuple[int, int], Dict[int, Any]] = {}
+
+    def _new_event(
+        self, proc: int, kind: EventKind, mid: Optional[int], peer: Optional[int]
+    ) -> Event:
+        self._next_index[proc] += 1
+        ev = Event(
+            EventId(proc, self._next_index[proc]), kind, msg_id=mid, peer=peer
+        )
+        self._events.append(ev)
+        return ev
+
+    # -- app-message hooks ---------------------------------------------
+    def envelope(self, src: int, dst: int) -> Dict[str, Any]:
+        """Send event for one ``src -> dst`` hop; the frame's clock payload."""
+        if not self._spec.graph.has_edge(src, dst):
+            raise ValueError(f"no channel p{src} -> p{dst} in the cluster graph")
+        mid = next(self._next_mid)
+        ev = self._new_event(src, EventKind.SEND, mid, dst)
+        payload = self.clock.on_send(ev)
+        return {"mid": mid, "ts": pack_payload(payload)}
+
+    def deliver(
+        self, dst: int, src: int, env: Dict[str, Any]
+    ) -> List[Dict[str, Any]]:
+        """Receive event for an incoming envelope; returns control frames.
+
+        Duplicate copies (same message id) are absorbed here — the
+        execution model has at most one receive event per message.
+        """
+        mid = int(env["mid"])
+        if mid in self._received:
+            counter("net.clock_dup_receives").inc()
+            return []
+        self._received.add(mid)
+        ev = self._new_event(dst, EventKind.RECEIVE, mid, src)
+        controls = self.clock.on_receive(ev, unpack_payload(env["ts"]))
+        out: List[Dict[str, Any]] = []
+        for cm in controls:
+            chan = (cm.src, cm.dst)
+            seq = self._ctrl_seq.get(chan, 0)
+            self._ctrl_seq[chan] = seq + 1
+            out.append(
+                {
+                    "type": "ctl",
+                    "csrc": cm.src,
+                    "cdst": cm.dst,
+                    "seq": seq,
+                    "pl": pack_payload(cm.payload),
+                }
+            )
+        return out
+
+    # -- control-message hooks -----------------------------------------
+    def control(self, src: int, dst: int, seq: int, packed: Any) -> None:
+        """Deliver one control datagram; buffers to enforce per-channel FIFO."""
+        chan = (src, dst)
+        expect = self._ctrl_expect.get(chan, 0)
+        if seq < expect:  # duplicate of an already-applied datagram
+            counter("net.ctl_dup").inc()
+            return
+        buf = self._ctrl_buffer.setdefault(chan, {})
+        buf[seq] = packed
+        while expect in buf:
+            self.clock.on_control(src, dst, unpack_payload(buf.pop(expect)))
+            expect += 1
+        self._ctrl_expect[chan] = expect
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        return len(self._events)
+
+    def finalized_events(self) -> List[Tuple[EventId, Any]]:
+        """``(eid, timestamp)`` for every event whose timestamp is final."""
+        out = []
+        for ev in self._events:
+            if self.clock.is_final(ev.eid):
+                out.append((ev.eid, self.clock.timestamp(ev.eid)))
+        return out
+
+    def stats(self) -> Dict[str, Any]:
+        final = 0
+        max_elements = 0
+        for ev in self._events:
+            if self.clock.is_final(ev.eid):
+                final += 1
+                ts = self.clock.timestamp(ev.eid)
+                if ts is not None:
+                    max_elements = max(max_elements, ts.n_elements)
+        total = len(self._events)
+        return {
+            "clock": self.clock.name,
+            "events": total,
+            "finalized": final,
+            "finalized_fraction": (final / total) if total else 1.0,
+            "max_elements": max_elements,
+        }
+
+
+# ----------------------------------------------------------------------
+# nodes
+# ----------------------------------------------------------------------
+class LiveNode:
+    """Base node: an RPC server plus routed, clock-aware outbound calls."""
+
+    role = "node"
+
+    def __init__(
+        self,
+        pid: int,
+        spec: ClusterSpec,
+        book: AddressBook,
+        policy: Optional[TransportPolicy] = None,
+        interposer: Optional[ChaosInterposer] = None,
+        clock_host: Optional[LiveClockHost] = None,
+    ) -> None:
+        self.pid = pid
+        self.spec = spec
+        self.book = book
+        self.policy = policy or TransportPolicy()
+        self.interposer = interposer
+        self.clock_host = clock_host
+        self._peers: Dict[int, PeerClient] = {}
+        self._rpc: Optional[RpcServer] = None
+        self._bg: Set[asyncio.Task] = set()
+        self.crashed = False
+        #: supervisor-injected per-response delay (slow-node degradation)
+        self.response_delay = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        self.crashed = False
+        self._rpc = RpcServer(self.pid, self._dispatch, interposer=self.interposer)
+        addr = await self._rpc.start(self.spec.host, 0)
+        self.book.set(self.pid, addr)
+        return addr
+
+    async def stop(self) -> None:
+        for peer in self._peers.values():
+            await peer.close()
+        self._peers.clear()
+        for t in list(self._bg):
+            t.cancel()
+        if self._bg:
+            await asyncio.gather(*self._bg, return_exceptions=True)
+        self._bg.clear()
+        if self._rpc is not None:
+            await self._rpc.stop()
+            self._rpc = None
+
+    async def kill(self) -> None:
+        """Abrupt crash: stop serving and drop every connection."""
+        self.crashed = True
+        counter("net.crashes").inc()
+        await self.stop()
+
+    def checkpoint_state(self) -> Dict[str, Any]:
+        """Durable state a restarted instance restores (role-specific)."""
+        return {}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        pass
+
+    # -- outbound -------------------------------------------------------
+    def peer(self, dst: int) -> PeerClient:
+        client = self._peers.get(dst)
+        if client is None:
+            client = PeerClient(
+                self.pid,
+                dst,
+                resolve=lambda d=dst: self.book.get(d),
+                policy=self.policy,
+                interposer=self.interposer,
+            )
+            self._peers[dst] = client
+        return client
+
+    async def call(
+        self,
+        target: int,
+        message: Dict[str, Any],
+        rid: Optional[str] = None,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Route *message* one hop toward *target* (relaying if needed)."""
+        nxt = self.spec.next_hop(self.pid, target)
+        if nxt != target:
+            message = {"type": "fwd", "target": target, "inner": message}
+        frame = dict(message)
+        if self.clock_host is not None:
+            frame["env"] = self.clock_host.envelope(self.pid, nxt)
+        response = await self.peer(nxt).request(
+            frame, rid=rid, timeout=timeout, max_retries=max_retries
+        )
+        env = response.pop("env", None)
+        if env is not None and self.clock_host is not None:
+            self._ship_controls(self.clock_host.deliver(self.pid, nxt, env))
+        return response
+
+    def _ship_controls(self, controls: List[Dict[str, Any]]) -> None:
+        for ctl in controls:
+            if ctl["csrc"] != self.pid:  # pragma: no cover - defensive
+                raise AssertionError("control message must originate here")
+            self._spawn(self._send_control(ctl))
+
+    async def _send_control(self, ctl: Dict[str, Any]) -> None:
+        try:
+            await self.peer(int(ctl["cdst"])).request(ctl)
+        except (RequestTimeout, TransportError):
+            # finalization for the affected events degrades to termination
+            # flushing, exactly as in the simulator's lossy-control runs
+            counter("net.ctl_lost").inc()
+
+    def _spawn(self, coro: Any) -> None:
+        task = asyncio.ensure_future(coro)
+        self._bg.add(task)
+        task.add_done_callback(self._bg.discard)
+
+    async def drain(self, timeout: float = 10.0) -> None:
+        """Wait for background work (replication, control) to finish."""
+        pending = [t for t in self._bg if not t.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=timeout)
+
+    # -- inbound --------------------------------------------------------
+    async def _dispatch(self, peer: int, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self.crashed:
+            raise TransportError(f"p{self.pid} is down")
+        if self.response_delay > 0:
+            await asyncio.sleep(self.response_delay)
+        message = dict(message)
+        env = message.pop("env", None)
+        if env is not None and self.clock_host is not None:
+            self._ship_controls(self.clock_host.deliver(self.pid, peer, env))
+        kind = message.get("type")
+        if kind == "ctl":
+            if self.clock_host is not None:
+                self.clock_host.control(
+                    int(message["csrc"]),
+                    int(message["cdst"]),
+                    int(message["seq"]),
+                    message["pl"],
+                )
+            body: Dict[str, Any] = {}
+        elif kind == "fwd":
+            body = await self.call(int(message["target"]), message["inner"])
+        else:
+            body = await self.handle_app(peer, message)
+        if self.clock_host is not None and kind != "ctl":
+            # the response is itself an application message hop
+            body = dict(body)
+            body["env"] = self.clock_host.envelope(self.pid, peer)
+        return body
+
+    async def handle_app(self, peer: int, message: Dict[str, Any]) -> Dict[str, Any]:
+        raise TransportError(
+            f"{self.role} p{self.pid} cannot handle {message.get('type')!r}"
+        )
+
+
+class SequencerNode(LiveNode):
+    """Stateless router: forwards ops to primaries/replicas, relays frames."""
+
+    role = "sequencer"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # read-target choice is deterministic per (seed, sequencer)
+        self._rng = random.Random(
+            (self.spec.config.seed << 8) ^ (0x5EC << 4) ^ self.pid
+        )
+
+    async def handle_app(self, peer: int, message: Dict[str, Any]) -> Dict[str, Any]:
+        if message.get("type") != "op":
+            return await super().handle_app(peer, message)
+        key = message["key"]
+        inner = {
+            "key": key,
+            "client": message["client"],
+            "deps": message["deps"],
+            "wsi": message["wsi"],
+            "orid": message["orid"],
+        }
+        if message["op"] == "w":
+            inner["type"] = "commit"
+            return await self.call(self.spec.primary_of(key), inner)
+        inner["type"] = "read"
+        server = self._rng.choice(self.spec.servers)
+        return await self.call(server, inner)
+
+
+class ServerNode(LiveNode):
+    """Replica holder; primary for its share of the keyspace.
+
+    Durable state (the checkpoint a supervisor restores after a crash):
+    the replica map, the per-key commit log and version counters, and the
+    commit dedup table — everything needed so a restarted primary neither
+    loses acknowledged writes nor re-commits a retransmitted one.
+    """
+
+    role = "server"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # key -> (version, deps, writer, writer_session_index)
+        self.replica: Dict[str, Tuple[int, Dict[str, int], int, int]] = {}
+        self.commit_log: List[Dict[str, Any]] = []
+        self.version_counter: Dict[str, int] = {}
+        self._commit_by_rid: Dict[str, Dict[str, Any]] = {}
+        self._applied = asyncio.Condition()
+        self.read_guard_timeout = 15.0
+
+    # -- durability -----------------------------------------------------
+    def checkpoint_state(self) -> Dict[str, Any]:
+        import copy
+
+        return copy.deepcopy(
+            {
+                "replica": self.replica,
+                "commit_log": self.commit_log,
+                "version_counter": self.version_counter,
+                "commit_by_rid": self._commit_by_rid,
+            }
+        )
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        import copy
+
+        state = copy.deepcopy(state)
+        self.replica = state["replica"]
+        self.commit_log = state["commit_log"]
+        self.version_counter = state["version_counter"]
+        self._commit_by_rid = state["commit_by_rid"]
+
+    # -- handlers -------------------------------------------------------
+    async def handle_app(self, peer: int, message: Dict[str, Any]) -> Dict[str, Any]:
+        kind = message.get("type")
+        if kind == "commit":
+            return await self._handle_commit(message)
+        if kind == "repl":
+            return await self._handle_repl(message)
+        if kind == "read":
+            return await self._handle_read(message)
+        return await super().handle_app(peer, message)
+
+    async def _handle_commit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        orid = message["orid"]
+        cached = self._commit_by_rid.get(orid)
+        if cached is not None:
+            counter("net.commit_dedup").inc()
+            return dict(cached)
+        key = message["key"]
+        deps = {str(k): int(v) for k, v in dict(message["deps"]).items()}
+        version = self.version_counter.get(key, 0) + 1
+        self.version_counter[key] = version
+        record = {
+            "key": key,
+            "version": version,
+            "writer": int(message["client"]),
+            "wsi": int(message["wsi"]),
+            "deps": deps,
+            "orid": orid,
+        }
+        self.commit_log.append(record)
+        self.replica[key] = (version, deps, record["writer"], record["wsi"])
+        counter("net.commits").inc()
+        response = {"version": version}
+        self._commit_by_rid[orid] = dict(response)
+        async with self._applied:
+            self._applied.notify_all()
+        repl = {
+            "type": "repl",
+            "key": key,
+            "version": version,
+            "deps": deps,
+            "writer": record["writer"],
+            "wsi": record["wsi"],
+            "orid": f"{orid}!repl",
+        }
+        for other in self.spec.servers:
+            if other != self.pid:
+                self._spawn(self._replicate(other, dict(repl)))
+        return response
+
+    async def _replicate(self, target: int, message: Dict[str, Any]) -> None:
+        message["orid"] = f"{message['orid']}@p{target}"
+        for _ in range(3):  # each call() already retries per its policy
+            try:
+                await self.call(target, message)
+                return
+            except (RequestTimeout, TransportError):
+                await asyncio.sleep(self.policy.request_timeout)
+        counter("net.repl_failures").inc()
+
+    async def _handle_repl(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        key = message["key"]
+        version = int(message["version"])
+        current = self.replica.get(key, (0, {}, -1, -1))
+        if version > current[0]:
+            self.replica[key] = (
+                version,
+                {str(k): int(v) for k, v in dict(message["deps"]).items()},
+                int(message["writer"]),
+                int(message["wsi"]),
+            )
+            async with self._applied:
+                self._applied.notify_all()
+        return {}
+
+    def _satisfied(self, deps: Dict[str, int]) -> bool:
+        return all(
+            self.replica.get(k, (0, {}, -1, -1))[0] >= v for k, v in deps.items()
+        )
+
+    async def _handle_read(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        deps = {str(k): int(v) for k, v in dict(message["deps"]).items()}
+        async with self._applied:
+            try:
+                await asyncio.wait_for(
+                    self._applied.wait_for(lambda: self._satisfied(deps)),
+                    self.read_guard_timeout,
+                )
+            except asyncio.TimeoutError:
+                counter("net.read_guard_timeouts").inc()
+                raise TransportError(
+                    f"read guard timed out at p{self.pid}: deps {deps} unmet"
+                ) from None
+        key = message["key"]
+        version, wdeps, writer, wsi = self.replica.get(key, (0, {}, -1, -1))
+        counter("net.reads_served").inc()
+        return {
+            "version": version,
+            "wdeps": wdeps,
+            "writer": writer,
+            "wsi": wsi,
+        }
+
+
+class ClientNode(LiveNode):
+    """A closed-loop session: issues its next operation when the last
+    completes, maintaining the Lazy-Replication-style dependency map."""
+
+    role = "client"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        cfg = self.spec.config
+        self.session: Dict[str, int] = {}
+        self.operations: List[Operation] = []
+        self.latencies_ms: List[float] = []
+        self._rng = random.Random((cfg.seed << 16) ^ self.pid)
+        self.op_deadline = 30.0
+        self.failovers = 0
+
+    async def run_session(self) -> None:
+        cfg = self.spec.config
+        for _ in range(cfg.ops_per_client):
+            key = f"k{self._rng.randrange(cfg.n_keys)}"
+            write = self._rng.random() < cfg.write_fraction
+            started = asyncio.get_running_loop().time()
+            if write:
+                version = await self._do_write(key)
+                kind = "w"
+            else:
+                version = await self._do_read(key)
+                kind = "r"
+            elapsed_ms = (asyncio.get_running_loop().time() - started) * 1e3
+            self.latencies_ms.append(elapsed_ms)
+            metric("net.op_latency_ms", buckets=MS_BUCKETS, kind=kind).observe(
+                elapsed_ms
+            )
+            self.operations.append(
+                Operation(
+                    client=self.pid,
+                    session_index=len(self.operations),
+                    kind=kind,
+                    key=key,
+                    version=version,
+                    write_index=None,  # resolved post hoc from commit logs
+                )
+            )
+            counter("net.ops_completed").inc()
+
+    async def _issue(self, op: str, key: str) -> Dict[str, Any]:
+        """Send one operation, failing over between attached sequencers."""
+        orid = f"c{self.pid}-{len(self.operations)}"
+        message = {
+            "type": "op",
+            "op": op,
+            "key": key,
+            "client": self.pid,
+            "deps": dict(self.session),
+            "wsi": len(self.operations),
+            "orid": orid,
+        }
+        targets = self.spec.attached(self.pid)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.op_deadline
+        round_idx = 0
+        while True:
+            for i, target in enumerate(targets):
+                if loop.time() >= deadline:
+                    raise LiveRunError(
+                        f"p{self.pid} {op}({key}) missed its "
+                        f"{self.op_deadline:.0f}s deadline"
+                    )
+                if i or round_idx:
+                    self.failovers += 1
+                    counter("net.failovers").inc()
+                try:
+                    return await self.call(
+                        target, message, rid=f"{orid}@p{target}:{round_idx}"
+                    )
+                except (RequestTimeout, TransportError):
+                    continue
+            round_idx += 1
+
+    async def _do_write(self, key: str) -> int:
+        response = await self._issue("w", key)
+        version = int(response["version"])
+        self.session[key] = max(self.session.get(key, 0), version)
+        return version
+
+    async def _do_read(self, key: str) -> int:
+        response = await self._issue("r", key)
+        version = int(response["version"])
+        self.session[key] = max(self.session.get(key, 0), version)
+        if version > 0:
+            for dkey, dver in dict(response["wdeps"]).items():
+                dkey = str(dkey)
+                self.session[dkey] = max(self.session.get(dkey, 0), int(dver))
+        return version
+
+
+def make_node(
+    pid: int,
+    spec: ClusterSpec,
+    book: AddressBook,
+    policy: Optional[TransportPolicy] = None,
+    interposer: Optional[ChaosInterposer] = None,
+    clock_host: Optional[LiveClockHost] = None,
+) -> LiveNode:
+    """Construct the right node class for *pid*'s role in the cluster."""
+    cls = {
+        "sequencer": SequencerNode,
+        "server": ServerNode,
+        "client": ClientNode,
+    }[spec.role_of(pid)]
+    return cls(pid, spec, book, policy, interposer, clock_host)
+
+
+# ----------------------------------------------------------------------
+# post-hoc assembly for the audit
+# ----------------------------------------------------------------------
+def collect_writes(
+    servers: List[ServerNode],
+) -> Tuple[List[WriteRecord], Dict[Tuple[str, int], int]]:
+    """Global write list from the primaries' commit logs.
+
+    Records are ordered deterministically by ``(key, version)``; the
+    returned index maps ``(key, version)`` to the record's position so
+    client operations can be linked to the writes they observed.
+    """
+    raw: List[Dict[str, Any]] = []
+    for server in servers:
+        for record in server.commit_log:
+            if server.spec.primary_of(record["key"]) == server.pid:
+                raw.append(dict(record, primary=server.pid))
+    raw.sort(key=lambda r: (r["key"], r["version"]))
+    writes: List[WriteRecord] = []
+    index: Dict[Tuple[str, int], int] = {}
+    for i, r in enumerate(raw):
+        writes.append(
+            WriteRecord(
+                key=r["key"],
+                version=r["version"],
+                writer=r["writer"],
+                writer_session_index=r["wsi"],
+                commit_event=EventId(r["primary"], i + 1),
+                deps=dict(r["deps"]),
+            )
+        )
+        index[(r["key"], r["version"])] = i
+    return writes, index
+
+
+def link_operations(
+    clients: List[ClientNode], index: Dict[Tuple[str, int], int]
+) -> Tuple[List[Operation], int]:
+    """Attach ``write_index`` links; count acked writes missing from logs.
+
+    The second return value is the number of *lost acknowledged writes* —
+    operations a client completed whose committed version never reached a
+    primary's durable log.  A correct deployment reports zero, crashes and
+    all.
+    """
+    operations: List[Operation] = []
+    lost = 0
+    for client in clients:
+        for op in client.operations:
+            widx: Optional[int] = None
+            if op.version > 0:
+                widx = index.get((op.key, op.version))
+                if widx is None:
+                    lost += 1
+            operations.append(
+                Operation(
+                    client=op.client,
+                    session_index=op.session_index,
+                    kind=op.kind,
+                    key=op.key,
+                    version=op.version,
+                    write_index=widx,
+                )
+            )
+    return operations, lost
+
+
+def sorted_process_ids(spec: ClusterSpec) -> List[ProcessId]:
+    return list(range(spec.n_processes))

@@ -3,11 +3,16 @@
 import pytest
 
 from repro.applications.causal_kv import (
+    CausalViolation,
+    Operation,
     StoreConfig,
+    WriteRecord,
+    audit_operations,
     run_store,
     verify_causal_reads,
 )
 from repro.core import HappenedBeforeOracle
+from repro.core.events import EventId
 
 
 class TestStoreRuns:
@@ -58,6 +63,97 @@ class TestStoreRuns:
         assert all(op.kind == "r" for op in run.operations)
         assert all(op.version == 0 for op in run.operations)
         assert verify_causal_reads(run) == []
+
+
+class TestStoreConfigValidation:
+    def test_defaults_are_valid(self):
+        StoreConfig()
+
+    @pytest.mark.parametrize(
+        "kw,needle",
+        [
+            (dict(n_sequencers=0), "n_sequencers"),
+            (dict(n_servers=-1), "n_servers"),
+            (dict(n_clients=0), "n_clients"),
+            (dict(n_keys=0), "n_keys"),
+            (dict(ops_per_client=-3), "ops_per_client"),
+            (dict(write_fraction=1.5), "write_fraction"),
+            (dict(write_fraction=-0.1), "write_fraction"),
+            (dict(rate=0.0), "rate"),
+        ],
+    )
+    def test_bad_values_rejected_with_field_name(self, kw, needle):
+        with pytest.raises(ValueError, match=needle):
+            StoreConfig(**kw)
+
+    def test_non_integer_counts_rejected(self):
+        with pytest.raises(ValueError, match="n_clients"):
+            StoreConfig(n_clients=2.5)
+
+
+class TestViolationContext:
+    """Failed audits carry enough context to debug: session, key, expected
+    vs observed version, and the violated dependency edge."""
+
+    def _fixture(self):
+        writes = [
+            WriteRecord(
+                key="a", version=1, writer=0, writer_session_index=0,
+                commit_event=EventId(2, 1), deps={},
+            )
+        ]
+        operations = [
+            Operation(client=0, session_index=0, kind="w", key="a",
+                      version=1, write_index=0),
+            Operation(client=1, session_index=0, kind="r", key="a",
+                      version=1, write_index=0),
+            Operation(client=1, session_index=1, kind="r", key="a",
+                      version=0, write_index=None),
+        ]
+        return operations, writes
+
+    def test_clean_audit_compares_equal_to_empty_list(self):
+        operations, writes = self._fixture()
+        assert audit_operations(operations[:2], writes) == []
+
+    def test_regression_and_stale_read_are_both_reported(self):
+        operations, writes = self._fixture()
+        problems = audit_operations(operations, writes)
+        kinds = {p.kind for p in problems}
+        assert kinds == {"regression", "stale-read"}
+
+    def test_regression_context(self):
+        operations, writes = self._fixture()
+        reg = next(
+            p for p in audit_operations(operations, writes)
+            if p.kind == "regression"
+        )
+        assert (reg.client, reg.session_index, reg.key) == (1, 1, "a")
+        assert reg.observed_version == 0
+        assert reg.expected_version == 1
+        assert reg.dependency is None
+        assert str(reg) == "client p1 saw a regress 1 -> 0"
+
+    def test_stale_read_names_the_violated_dependency_edge(self):
+        operations, writes = self._fixture()
+        stale = next(
+            p for p in audit_operations(operations, writes)
+            if p.kind == "stale-read"
+        )
+        assert (stale.client, stale.session_index, stale.key) == (1, 1, "a")
+        assert stale.observed_version == 0
+        assert stale.expected_version == 1
+        # the read at (1, 0) pulled a@v1 into this session's causal past
+        assert stale.dependency == (1, 0)
+        assert str(stale) == (
+            "read #1 of a by p1 returned v0 < causally required v1"
+        )
+
+    def test_simulated_violations_render_structured(self):
+        run = run_store(StoreConfig(ops_per_client=4, seed=0))
+        violations = verify_causal_reads(run)
+        assert violations == []
+        assert isinstance(violations, list)
 
 
 class TestTraffic:

@@ -6,8 +6,11 @@ from repro.clocks import LamportClock, SKVectorClock, StarInlineClock
 from repro.faults import (
     ChaosCell,
     ChaosScenario,
+    CompositeFault,
     CrashSchedule,
+    DuplicationFault,
     GilbertElliottLoss,
+    PartitionFault,
     ROW_HEADER,
     default_scenarios,
     run_chaos,
@@ -95,6 +98,58 @@ class TestRunChaos:
         assert cell(rel).finalized_fraction > cell(raw).finalized_fraction
         assert cell(rel).retransmissions > 0
         assert cell(raw).retransmissions == 0
+
+
+def _combined_fault():
+    """Duplication + a healing partition + a mid-run crash, all at once."""
+    half = list(range(N // 2))
+    rest = list(range(N // 2, N))
+    return CompositeFault(
+        [
+            DuplicationFault(rate=0.3, copies=2),
+            PartitionFault([half, rest], start=3.0, duration=4.0),
+            CrashSchedule({N - 1: [(5.0, 11.0)]}),
+        ]
+    )
+
+
+class TestCombinedFaultCheckpoints:
+    """Crash-recovery checkpoint restore while duplication and a partition
+    are ALSO active — the fault classes compose, and permanence must hold
+    on the snapshot taken mid-chaos, not just in the clean crash scenario."""
+
+    def test_checkpoint_restore_under_duplication_plus_partition(self):
+        from repro.faults.chaos import _checkpoint_permanence_ok
+        from repro.sim.network import RetryPolicy
+        from repro.sim.runner import Simulation
+        from repro.sim.workload import UniformWorkload
+
+        g = generators.star(N)
+        fs = factories()
+        sim = Simulation(
+            g,
+            seed=3,
+            clocks={name: factory() for name, factory in fs.items()},
+            fault_model=_combined_fault(),
+            control_retry=RetryPolicy(),
+        )
+        result = sim.run(UniformWorkload(events_per_process=12))
+        assert result.crash_checkpoints  # the crash really snapshotted
+        for name, factory in fs.items():
+            assert _checkpoint_permanence_ok(result, name, factory)
+
+    def test_sweep_cell_upholds_invariants_under_combined_faults(self):
+        g = generators.star(N)
+        report = run_chaos(
+            g, factories(),
+            scenarios=[ChaosScenario(name="combined", fault=_combined_fault())],
+            events_per_process=12, seed=3,
+        )
+        assert report.ok
+        assert all(c.checkpoint_ok and c.causality_ok for c in report.cells)
+        cell = next(c for c in report.cells if c.clock == "inline")
+        # the partition + crash really interfered with the app layer
+        assert cell.dropped_app > 0
 
 
 class TestChaosCell:
