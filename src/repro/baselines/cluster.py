@@ -26,6 +26,7 @@ from repro.clocks.base import (
     ControlMessage,
     Timestamp,
     standard_vector_rows,
+    standard_vector_words,
 )
 from repro.core.events import Event, EventId
 
@@ -54,6 +55,10 @@ class ClusterTimestamp(Timestamp):
     @classmethod
     def precedes_matrix(cls, timestamps):
         return standard_vector_rows([t._exact for t in timestamps])
+
+    @classmethod
+    def precedes_matrix_words(cls, timestamps):
+        return standard_vector_words([t._exact for t in timestamps])
 
     def elements(self) -> Tuple[int, ...]:
         if self.full_vector is not None:

@@ -21,6 +21,7 @@ from repro.clocks.base import (
     ControlMessage,
     Timestamp,
     standard_vector_rows,
+    standard_vector_words,
 )
 from repro.core.events import Event, EventId
 
@@ -46,6 +47,10 @@ class PlausibleTimestamp(Timestamp):
     @classmethod
     def precedes_matrix(cls, timestamps):
         return standard_vector_rows([t.vector for t in timestamps])
+
+    @classmethod
+    def precedes_matrix_words(cls, timestamps):
+        return standard_vector_words([t.vector for t in timestamps])
 
     def elements(self) -> Tuple[int, ...]:
         return self.vector

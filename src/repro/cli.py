@@ -856,12 +856,21 @@ def cmd_conformance(args: argparse.Namespace) -> int:
 
     if args.trials < 0:
         return _error(f"--trials must be >= 0, got {args.trials}")
+    if args.backend in ("numpy", "old-vs-new"):
+        from repro.core.backend import numpy_available
+
+        if not numpy_available():
+            return _error(
+                f"--backend {args.backend} requires numpy>=2.0 "
+                "(pip install numpy, or the [fast] extra)"
+            )
     tracer = _make_tracer(
         "conformance",
         trials=args.trials,
         seed=args.seed,
         topologies=list(args.topology),
         steps=args.steps,
+        backend=args.backend,
     )
     corpus_mismatches = 0
     if args.corpus:
@@ -885,6 +894,7 @@ def cmd_conformance(args: argparse.Namespace) -> int:
         max_steps=args.steps,
         tracer=tracer,
         shrink=not args.no_shrink,
+        backend=args.backend,
     )
     print(
         f"conformance: {report.trials} trial(s), seed {args.seed}, "
@@ -1059,6 +1069,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write shrunken failing executions as corpus JSON")
     p.add_argument("--no-shrink", action="store_true",
                    help="report raw failing executions without minimizing")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "pure", "numpy", "old-vs-new"],
+                   help="kernel backend: pure/numpy pin every oracle; "
+                   "auto and old-vs-new also cross-check the numpy array "
+                   "kernel against the pure packed-int kernel")
     p.set_defaults(fn=cmd_conformance)
 
     p = sub.add_parser(

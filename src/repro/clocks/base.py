@@ -70,6 +70,21 @@ class Timestamp(abc.ABC):
         """
         return None
 
+    @classmethod
+    def precedes_matrix_words(
+        cls, timestamps: Sequence["Timestamp"]
+    ) -> Optional[Any]:
+        """Array-native twin of :meth:`precedes_matrix`.
+
+        Returns the same precedes-matrix as a numpy ``(m, ceil(m/64))``
+        ``uint64`` array (rows little-endian-match the packed ints), or
+        ``None`` when the scheme has no array fast path *or* numpy is
+        unavailable — callers fall back to :meth:`precedes_matrix` and
+        then to pairwise comparison.  Overrides must be byte-identical to
+        :meth:`precedes_matrix`; the backend-parity suite pins this.
+        """
+        return None
+
     @abc.abstractmethod
     def elements(self) -> Tuple[Any, ...]:
         """The scheme's integer (or real) elements, for size accounting."""
@@ -345,6 +360,25 @@ def standard_vector_rows(
     for j, v in enumerate(vectors):
         rows[j] &= ~groups[v]
     return rows
+
+
+def standard_vector_words(
+    vectors: Sequence[Tuple[Any, ...]],
+) -> Optional[Any]:
+    """Array-native :func:`standard_vector_rows` (numpy uint64 matrix).
+
+    Returns ``None`` when numpy is unavailable or the vectors are not
+    finite integral numerics (the pure sweep then handles them) — the
+    shared implementation behind every scheme's
+    :meth:`Timestamp.precedes_matrix_words` override.
+    """
+    from repro.core.backend import numpy_available
+
+    if not numpy_available():
+        return None
+    from repro.core import npkernel
+
+    return npkernel.standard_vector_matrix(vectors)
 
 
 def precedes_matrix_rows(timestamps: Sequence[Timestamp]) -> List[int]:

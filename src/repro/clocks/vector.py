@@ -17,6 +17,7 @@ from repro.clocks.base import (
     ControlMessage,
     Timestamp,
     standard_vector_rows,
+    standard_vector_words,
     vector_lt,
 )
 from repro.core.events import Event, EventId
@@ -36,6 +37,10 @@ class VectorTimestamp(Timestamp):
     @classmethod
     def precedes_matrix(cls, timestamps):
         return standard_vector_rows([t.vector for t in timestamps])
+
+    @classmethod
+    def precedes_matrix_words(cls, timestamps):
+        return standard_vector_words([t.vector for t in timestamps])
 
     def elements(self) -> Tuple[int, ...]:
         return self.vector

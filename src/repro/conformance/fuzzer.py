@@ -20,6 +20,13 @@ causality-oracle flavors, then cross-checks four invariants:
 4. **one-sided** — inexact baselines (lamport, plausible, hlc) must stay
    *consistent* (``e -> f ⟹ ts(e) < ts(f)``); they may overclaim but never
    miss a causal edge.
+5. **backend-differential** — the numpy array kernel
+   (:mod:`repro.core.npkernel`) must answer byte-identically to the pure
+   packed-int kernel: causal-past rows, relation counts, vector clocks,
+   downward closures, validation reports, and the rows produced by an
+   incremental oracle frozen onto the numpy backend mid-hand-off.  Skipped
+   silently when numpy is unavailable (the pure kernel is then the only
+   one to check) or when ``backend="pure"`` pins the whole run.
 
 Failures come back as :class:`Mismatch` records carrying the generating op
 list, ready for the shrinker and the JSONL report.  :func:`fuzz` drives
@@ -31,18 +38,22 @@ exercised deliberately rather than incidentally.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.bench import cell_seed
 from repro.clocks.replay import replay_one
+from repro.clocks.vector import VectorClock
 from repro.conformance.registry import (
     SchemeSpec,
     schemes_for,
     star_center_of,
 )
 from repro.core import HappenedBeforeOracle
+from repro.core.backend import use_backend
 from repro.core.execution import ExecutionBuilder
+from repro.core.happened_before import downward_closure
 from repro.core.incremental import IncrementalHBOracle
 from repro.core.random_executions import (
     Op,
@@ -60,7 +71,14 @@ INVARIANTS = (
     "oracle-differential",
     "finalization-monotonic",
     "one-sided",
+    "backend-differential",
 )
+
+#: check_execution backend modes: "auto"/"old-vs-new" run the
+#: backend-differential invariant when numpy is available (for
+#: "old-vs-new" the caller asserts availability up front); "pure"/"numpy"
+#: pin every oracle in the run to that kernel
+BACKEND_MODES = ("auto", "pure", "numpy", "old-vs-new")
 
 
 @dataclass(frozen=True)
@@ -353,6 +371,72 @@ def _check_finalization(
 
 
 # ----------------------------------------------------------------------
+# invariant 5: numpy array kernel vs pure packed-int kernel
+# ----------------------------------------------------------------------
+def _check_backends(graph, ops, execution, fifo, context, report):
+    from repro.core.backend import numpy_available
+
+    out: List[Mismatch] = []
+    if not numpy_available():
+        return out
+    report.count("backend-differential")
+
+    def bad(detail: str) -> None:
+        out.append(_mk(
+            "backend-differential", "oracle", detail,
+            graph, ops, fifo, context,
+        ))
+
+    pure = HappenedBeforeOracle(execution, backend="pure")
+    fast = HappenedBeforeOracle(execution, backend="numpy")
+    if fast.past_masks() != pure.past_masks():
+        bad("numpy past matrix != pure causal-past rows")
+        return out  # rows are the substrate; everything below would cascade
+    if fast.relation_counts() != pure.relation_counts():
+        bad("relation_counts diverge across backends")
+    ids = [ev.eid for ev in execution.all_events()]
+    for eid in ids:
+        if fast.vector_clock(eid) != pure.vector_clock(eid):
+            bad(f"vector_clock({eid}) diverges across backends")
+            break
+    qrng = random.Random((len(ops) + 1) * 1099087573 % (2**31))
+    if ids:
+        seeds = qrng.sample(ids, min(3, len(ids)))
+        if downward_closure(fast, seeds) != downward_closure(pure, seeds):
+            bad(f"downward_closure({seeds}) diverges across backends")
+    # streaming hand-off: interleave point queries with appends, then
+    # freeze straight onto the numpy backend
+    inc = IncrementalHBOracle(graph.n_vertices)
+    seen: List = []
+    for ev in execution.delivery_order():
+        if ev.is_receive:
+            inc.append_receive(ev.eid, execution.send_of(ev).eid)
+        else:
+            inc.append_event(ev)
+        seen.append(ev.eid)
+        if len(seen) >= 2 and qrng.random() < 0.25:
+            a, b = qrng.sample(seen, 2)
+            if inc.precedes(a, b) != fast.happened_before(a, b):
+                bad(f"precedes({a}, {b}) diverges vs numpy mid-stream")
+    frozen = inc.freeze(execution, backend="numpy")
+    if frozen.backend != "numpy":
+        bad("freeze(backend='numpy') did not select the numpy kernel")
+    if frozen.past_masks() != pure.past_masks():
+        bad("freeze(backend='numpy') rows differ from pure rebuild")
+    for eid in ids:
+        if frozen.vector_clock(eid) != pure.vector_clock(eid):
+            bad(f"freeze(backend='numpy') vector_clock({eid}) differs")
+            break
+    # one scheme validation end to end: the array matrix-validate path
+    # (numpy oracle) must yield the identical report to the packed-int
+    # path (pure oracle), mismatch ordering included
+    asg = replay_one(execution, VectorClock(graph.n_vertices))
+    if asg.validate(fast) != asg.validate(pure):
+        bad("validate() report differs between numpy and pure oracles")
+    return out
+
+
+# ----------------------------------------------------------------------
 def check_execution(
     graph: CommunicationGraph,
     ops: Sequence[Op],
@@ -361,29 +445,46 @@ def check_execution(
     schemes: Optional[Sequence[SchemeSpec]] = None,
     context: Optional[Mapping[str, Any]] = None,
     report: Optional[ConformanceReport] = None,
+    backend: str = "auto",
 ) -> List[Mismatch]:
-    """Run all four conformance invariants on one execution.
+    """Run all conformance invariants on one execution.
 
     *schemes* restricts the scheme set (corpus replays pin specific
     schemes); by default every scheme legal for (*graph*, *fifo*) runs.
+    *backend* is one of :data:`BACKEND_MODES`: ``pure``/``numpy`` pin the
+    kernel for every oracle built during the check; ``auto`` and
+    ``old-vs-new`` additionally run the backend-differential invariant
+    whenever numpy is importable.
     """
+    if backend not in BACKEND_MODES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_MODES}, got {backend!r}"
+        )
     context = dict(context or {})
     report = report if report is not None else ConformanceReport()
     specs = list(schemes) if schemes is not None else schemes_for(graph, fifo)
     center = star_center_of(graph) or 0
     execution = execution_from_ops(graph, ops)
     report.events_checked += execution.n_events
-    oracle = HappenedBeforeOracle(execution)
-    mismatches: List[Mismatch] = []
-    mismatches += _check_schemes(
-        graph, ops, execution, oracle, specs, center, fifo, context, report
-    )
-    mismatches += _check_oracles(
-        graph, ops, execution, oracle, fifo, context, report
-    )
-    mismatches += _check_finalization(
-        graph, ops, specs, center, fifo, context, report
-    )
+    pin = backend if backend in ("pure", "numpy") else None
+    ctx = use_backend(pin) if pin is not None else nullcontext()
+    with ctx:
+        oracle = HappenedBeforeOracle(execution)
+        mismatches: List[Mismatch] = []
+        mismatches += _check_schemes(
+            graph, ops, execution, oracle, specs, center, fifo, context,
+            report,
+        )
+        mismatches += _check_oracles(
+            graph, ops, execution, oracle, fifo, context, report
+        )
+        mismatches += _check_finalization(
+            graph, ops, specs, center, fifo, context, report
+        )
+    if backend != "pure":
+        mismatches += _check_backends(
+            graph, ops, execution, fifo, context, report
+        )
     return mismatches
 
 
@@ -456,12 +557,15 @@ def fuzz(
     max_steps: int = 40,
     tracer=None,
     shrink: bool = True,
+    backend: str = "auto",
 ) -> ConformanceReport:
     """Run a fuzzing campaign; every mismatch is (optionally) shrunk.
 
     The campaign is a pure function of ``(trials, seed, topologies,
     max_steps)`` — per-trial RNGs derive from :func:`repro.bench.cell_seed`
-    so reports reproduce exactly.
+    so reports reproduce exactly.  *backend* is passed through to
+    :func:`check_execution` (``old-vs-new`` forces the pure-vs-numpy
+    differential on every trial).
     """
     from repro.conformance.shrinker import shrink_mismatch
 
@@ -471,7 +575,8 @@ def fuzz(
             seed, trial, topologies, max_steps
         )
         found = check_execution(
-            graph, ops, fifo=fifo, context=context, report=report
+            graph, ops, fifo=fifo, context=context, report=report,
+            backend=backend,
         )
         report.trials += 1
         for mm in found:

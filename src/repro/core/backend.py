@@ -1,0 +1,122 @@
+"""Kernel backend selection for the causality oracle.
+
+The happened-before kernel has two interchangeable implementations:
+
+- ``pure`` — packed Python-int bitmask rows, always available, the
+  reference every other path is validated against;
+- ``numpy`` — the same rows stored as a contiguous ``(m, ceil(m/64))``
+  ``uint64`` matrix (structure-of-arrays) with bulk-OR construction and
+  vectorized popcounts (:mod:`repro.core.npkernel`).  Byte-identical to
+  ``pure`` — the conformance fuzzer's ``backend-differential`` invariant
+  and the hypothesis parity suite pin that equivalence.
+
+Selection is a three-level override chain, strongest first:
+
+1. an explicit ``backend=`` argument at a construction site;
+2. a process-wide preference via :func:`set_backend` /
+   :func:`use_backend` or the ``REPRO_KERNEL_BACKEND`` environment
+   variable;
+3. ``auto`` — numpy when importable *and* the execution is large enough
+   (:data:`NUMPY_MIN_EVENTS`) for the vectorized paths to win; tiny
+   executions stay on the pure kernel, whose fixed costs are lower.
+
+numpy is an optional dependency (``pip install "repro[fast]"``);
+every consumer goes through :func:`numpy_available` so its absence never
+raises, it just pins the resolution to ``pure``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: ``auto`` resolves to numpy only at or above this event count — below it
+#: the pure kernel's lower fixed costs win (measured crossover ~a few
+#: hundred events; see ``tools/bench_snapshot.py --pr7-out``).
+NUMPY_MIN_EVENTS = 512
+
+#: environment variable consulted when no process-wide override is set
+ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+BACKENDS = ("auto", "pure", "numpy")
+
+#: process-wide override installed by :func:`set_backend` (None = unset)
+_forced: Optional[str] = None
+
+#: memoized numpy availability probe (None = not probed yet)
+_numpy_ok: Optional[bool] = None
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be used in this interpreter.
+
+    Requires numpy >= 2.0 (``np.bitwise_count``); older versions count as
+    unavailable rather than failing later on a missing ufunc.
+    """
+    global _numpy_ok
+    if _numpy_ok is None:
+        try:
+            import numpy as np
+
+            _numpy_ok = hasattr(np, "bitwise_count")
+        except ImportError:
+            _numpy_ok = False
+    return _numpy_ok
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKENDS}"
+        )
+    return name
+
+
+def backend_preference() -> str:
+    """The process-wide preference: forced > ``$REPRO_KERNEL_BACKEND`` > auto."""
+    if _forced is not None:
+        return _forced
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return _validate(env)
+    return "auto"
+
+
+def set_backend(name: Optional[str]) -> None:
+    """Install (or with ``None`` clear) the process-wide backend preference."""
+    global _forced
+    _forced = _validate(name) if name is not None else None
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[None]:
+    """Scoped :func:`set_backend`: restores the previous preference on exit."""
+    global _forced
+    prev = _forced
+    _forced = _validate(name)
+    try:
+        yield
+    finally:
+        _forced = prev
+
+
+def resolve_backend(n_events: int, override: Optional[str] = None) -> str:
+    """Decide ``"pure"`` or ``"numpy"`` for an oracle over *n_events* events.
+
+    *override* is the construction-site argument and wins outright;
+    ``"numpy"`` (from either level) is a hard request — it raises if numpy
+    is unavailable, rather than silently degrading a caller that asked for
+    the fast kernel by name.
+    """
+    choice = _validate(override) if override is not None else backend_preference()
+    if choice == "auto":
+        if numpy_available() and n_events >= NUMPY_MIN_EVENTS:
+            return "numpy"
+        return "pure"
+    if choice == "numpy" and not numpy_available():
+        raise RuntimeError(
+            "kernel backend 'numpy' requested but numpy>=2.0 is not "
+            "installed (pip install numpy, or the [fast] extra)"
+        )
+    return choice

@@ -31,22 +31,33 @@ by :meth:`vector_clock` consumers and by the property tests that
 cross-check the bitset kernel against the vector-clock definition::
 
     e -> f   iff   vc_e[e.proc] <= vc_f[e.proc]
+
+The row store has two interchangeable backends (see
+:mod:`repro.core.backend`): ``pure`` keeps the packed Python ints described
+above; ``numpy`` keeps the same matrix as a contiguous ``uint64`` array
+built by bulk row ops (:mod:`repro.core.npkernel`) and answers
+``relation_counts`` / :func:`downward_closure` with whole-matrix
+vectorized popcounts and ORs.  Both produce byte-identical rows; the pure
+backend is the always-available reference.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro.core.backend import resolve_backend
 from repro.core.events import Event, EventId
 from repro.core.execution import Execution
+from repro.obs.metrics import active_registry
 
 
 class HappenedBeforeOracle:
     """O(1) happened-before queries over a fixed execution."""
 
-    def __init__(self, execution: Execution) -> None:
+    def __init__(
+        self, execution: Execution, backend: Optional[str] = None
+    ) -> None:
         self._execution = execution
-        self._vc: Dict[EventId, Tuple[int, ...]] = {}
         #: dense event indexing: process-major, index order within a process
         self._order: Tuple[EventId, ...] = tuple(
             ev.eid for ev in execution.all_events()
@@ -56,11 +67,26 @@ class HappenedBeforeOracle:
         }
         #: first dense index of each process's events (the per-process block)
         self._proc_base: Tuple[int, ...] = self._compute_proc_bases()
-        #: strict causal-past bitmask per dense index
-        self._past: List[int] = [0] * len(self._order)
         #: strict causal-future bitmask per dense index (built lazily)
         self._future: Optional[List[int]] = None
-        self._compute()
+        #: which kernel holds the rows ("pure" or "numpy")
+        self.backend: str = resolve_backend(len(self._order), backend)
+        #: numpy (m, ceil(m/64)) uint64 past matrix (numpy backend only)
+        self._mat: Optional[Any] = None
+        if self.backend == "numpy":
+            from repro.core import npkernel
+
+            self._mat = npkernel.bulk_past_matrix(execution)
+            # packed-int rows and vector clocks materialize lazily from
+            # the matrix, only for consumers that ask for them
+            self._past: Optional[List[int]] = None
+            self._vc: Optional[Dict[EventId, Tuple[int, ...]]] = None
+        else:
+            self._vc = {}
+            #: strict causal-past bitmask per dense index
+            self._past = [0] * len(self._order)
+            self._compute()
+        active_registry().gauge("oracle.backend", backend=self.backend).set(1)
 
     @classmethod
     def from_parts(
@@ -90,6 +116,9 @@ class HappenedBeforeOracle:
             )
         self._past = list(past_rows)
         self._future = None
+        self.backend = "pure"
+        self._mat = None
+        active_registry().gauge("oracle.backend", backend=self.backend).set(1)
         return self
 
     @property
@@ -110,6 +139,7 @@ class HappenedBeforeOracle:
         pos = self._pos
         past = self._past
         vc = self._vc
+        assert past is not None and vc is not None  # pure backend only
         proc_clock: List[List[int]] = [[0] * n for _ in range(n)]
         #: running mask per process: strict past of that process's *next* event
         proc_mask = [0] * n
@@ -158,6 +188,29 @@ class HappenedBeforeOracle:
         self._future = fut
         return fut
 
+    def _ensure_past(self) -> List[int]:
+        """Packed-int rows, materialized once from the matrix if needed."""
+        if self._past is None:
+            from repro.core import npkernel
+
+            self._past = npkernel.matrix_to_rows(self._mat)
+        return self._past
+
+    def _ensure_vc(self) -> Dict[EventId, Tuple[int, ...]]:
+        """Vector clocks, materialized once from the matrix if needed."""
+        if self._vc is None:
+            from repro.core import npkernel
+
+            ex = self._execution
+            counts = [
+                len(ex.events_at(p)) for p in range(ex.n_processes)
+            ]
+            clocks = npkernel.vector_clocks_from_matrix(self._mat, counts)
+            self._vc = {
+                eid: tuple(clocks[i]) for i, eid in enumerate(self._order)
+            }
+        return self._vc
+
     # ------------------------------------------------------------------
     # bitset kernel surface
     # ------------------------------------------------------------------
@@ -172,7 +225,7 @@ class HappenedBeforeOracle:
 
     def causal_past_mask(self, f: EventId) -> int:
         """Bitmask of ``{e : e -> f}`` over :attr:`event_order` indices."""
-        return self._past[self._pos[f]]
+        return self._ensure_past()[self._pos[f]]
 
     def causal_future_mask(self, e: EventId) -> int:
         """Bitmask of ``{f : e -> f}`` over :attr:`event_order` indices."""
@@ -181,7 +234,13 @@ class HappenedBeforeOracle:
     def past_masks(self) -> Tuple[int, ...]:
         """All strict causal-past rows: bit ``i`` of row ``j`` is set iff
         ``event_order[i] -> event_order[j]``."""
-        return tuple(self._past)
+        return tuple(self._ensure_past())
+
+    def past_matrix(self) -> Optional[Any]:
+        """The numpy ``(m, ceil(m/64))`` uint64 past matrix, or ``None``
+        on the pure backend.  Rows little-endian-match :meth:`past_masks`;
+        callers must treat it as read-only."""
+        return self._mat
 
     def events_from_mask(self, mask: int) -> List[EventId]:
         """Decode a bitmask into the events it denotes, in dense order."""
@@ -213,11 +272,17 @@ class HappenedBeforeOracle:
     # ------------------------------------------------------------------
     def vector_clock(self, eid: EventId) -> Tuple[int, ...]:
         """The ground-truth full-length vector clock of *eid*."""
-        return self._vc[eid]
+        return self._ensure_vc()[eid]
+
+    def _bit(self, pe: int, pf: int) -> bool:
+        """Bit *pe* of row *pf*, without materializing packed-int rows."""
+        if self._past is not None:
+            return bool(self._past[pf] >> pe & 1)
+        return bool(int(self._mat[pf, pe >> 6]) >> (pe & 63) & 1)
 
     def happened_before(self, e: EventId, f: EventId) -> bool:
         """Whether ``e -> f`` (strict: ``e != f`` and e causally precedes f)."""
-        return bool(self._past[self._pos[f]] >> self._pos[e] & 1)
+        return self._bit(self._pos[e], self._pos[f])
 
     def leq(self, e: EventId, f: EventId) -> bool:
         """Whether ``e == f`` or ``e -> f``."""
@@ -226,16 +291,12 @@ class HappenedBeforeOracle:
     def concurrent(self, e: EventId, f: EventId) -> bool:
         """Whether *e* and *f* are distinct and causally unordered."""
         pe, pf = self._pos[e], self._pos[f]
-        return (
-            pe != pf
-            and not self._past[pf] >> pe & 1
-            and not self._past[pe] >> pf & 1
-        )
+        return pe != pf and not self._bit(pe, pf) and not self._bit(pf, pe)
 
     # ------------------------------------------------------------------
     def causal_past(self, f: EventId) -> Set[EventId]:
         """All events ``e`` with ``e -> f`` (excluding *f* itself)."""
-        return set(self.events_from_mask(self._past[self._pos[f]]))
+        return set(self.events_from_mask(self.causal_past_mask(f)))
 
     def causal_future(self, e: EventId) -> Set[EventId]:
         """All events ``f`` with ``e -> f``."""
@@ -258,7 +319,12 @@ class HappenedBeforeOracle:
         of the causal-past matrix, and the latter is the complement among
         all unordered pairs.
         """
-        ordered = sum(mask.bit_count() for mask in self._past)
+        if self._mat is not None:
+            from repro.core import npkernel
+
+            ordered = npkernel.ordered_pair_count(self._mat)
+        else:
+            ordered = sum(mask.bit_count() for mask in self._past)
         m = len(self._order)
         return ordered, m * (m - 1) // 2 - ordered
 
@@ -270,9 +336,20 @@ def downward_closure(
 
     A set ``S`` is causally closed (a *consistent cut*, as a set of events)
     when ``f in S`` and ``e -> f`` imply ``e in S``.  Computed as one mask
-    union per seed event.
+    union per seed event — or, on the numpy backend, as one whole-matrix
+    row gather + OR-reduction.
     """
-    mask = 0
-    for f in events:
-        mask |= oracle.causal_past_mask(f) | (1 << oracle.index_of(f))
+    seeds = list(events)
+    mat = oracle.past_matrix()
+    if mat is not None and seeds:
+        from repro.core import npkernel
+
+        idx = [oracle.index_of(f) for f in seeds]
+        mask = npkernel.union_rows_int(mat, idx)
+        for i in idx:
+            mask |= 1 << i
+    else:
+        mask = 0
+        for f in seeds:
+            mask |= oracle.causal_past_mask(f) | (1 << oracle.index_of(f))
     return set(oracle.events_from_mask(mask))

@@ -351,16 +351,23 @@ class IncrementalHBOracle:
     # ------------------------------------------------------------------
     # freeze: hand over to the batch oracle, byte-identically
     # ------------------------------------------------------------------
-    def freeze(self, execution: Execution) -> HappenedBeforeOracle:
+    def freeze(
+        self, execution: Execution, backend: Optional[str] = None
+    ) -> HappenedBeforeOracle:
         """A batch oracle over *execution*, reusing the incremental rows.
 
         *execution* must be the completed execution whose events were
-        streamed in (same per-process counts).  The chunked rows are
-        permuted block-wise into the batch oracle's process-major dense
-        indexing — O(chunks) big-int shifts per row, never a recompute —
-        and the result is indistinguishable from
-        ``HappenedBeforeOracle(execution)``: identical ``past_masks()``,
-        ``event_order``, vector clocks, and query answers.
+        streamed in (same per-process counts).  On the pure backend the
+        chunked rows are permuted block-wise into the batch oracle's
+        process-major dense indexing — O(chunks) big-int shifts per row,
+        never a recompute.  When *backend* (or the process-wide
+        preference, see :mod:`repro.core.backend`) resolves to ``numpy``,
+        the bulk array kernel rebuilds the matrix outright — faster than
+        remapping rows through Python ints — and the incrementally
+        maintained vector clocks are handed over as-is.  Either way the
+        result is indistinguishable from ``HappenedBeforeOracle(execution)``:
+        identical ``past_masks()``, ``event_order``, vector clocks, and
+        query answers.
         """
         if execution.n_processes != self._n:
             raise ValueError(
@@ -375,6 +382,15 @@ class IncrementalHBOracle:
                     f"process {p}: oracle saw {have} events, "
                     f"execution has {want}"
                 )
+        from repro.core.backend import resolve_backend
+
+        if resolve_backend(self._watermark, backend) == "numpy":
+            oracle = HappenedBeforeOracle(execution, backend="numpy")
+            # hand over the incrementally maintained clocks; they are
+            # byte-identical to a fresh computation (pinned by the
+            # equivalence tests), so the matrix path never recomputes them
+            oracle._vc = dict(self._vc)
+            return oracle
         # process-major target offsets (the batch oracle's _proc_base)
         bases: List[int] = []
         offset = 0

@@ -15,7 +15,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.clocks.base import standard_vector_rows
+from repro.clocks.base import standard_vector_rows, standard_vector_words
 from repro.core.events import EventId
 from repro.core.execution import Execution
 from repro.core.happened_before import HappenedBeforeOracle
@@ -101,9 +101,6 @@ def check_vector_assignment(
     # ``ids`` follow all_events() order == the oracle's dense indexing.
     m = len(ids)
     vecs = [tuple(vectors[e]) for e in ids]
-    claimed_rows = standard_vector_rows(vecs)
-    assert claimed_rows is not None  # lengths validated above
-    hb_rows = oracle.past_masks()
 
     # Duplicate vectors: every pair inside an equal-vector group.  The
     # pairwise reference skips the directional checks for such pairs, so
@@ -111,12 +108,6 @@ def check_vector_assignment(
     groups: Dict[Tuple[float, ...], List[int]] = {}
     for i, v in enumerate(vecs):
         groups.setdefault(v, []).append(i)
-    group_mask: Dict[Tuple[float, ...], int] = {}
-    for v, idxs in groups.items():
-        mask = 0
-        for i in idxs:
-            mask |= 1 << i
-        group_mask[v] = mask
 
     # Violations keyed to the pairwise reference order: pair-major over
     # (min, max) positions; a duplicate replaces the pair's direction
@@ -133,25 +124,80 @@ def check_vector_assignment(
                         ),
                     )
                 )
-    for j in range(m):
-        dup = group_mask[vecs[j]] & ~(1 << j)
-        diff = (claimed_rows[j] ^ hb_rows[j]) & ~(1 << j) & ~dup
-        hb_row = hb_rows[j]
-        while diff:
-            low = diff & -diff
-            i = low.bit_length() - 1
-            diff ^= low
-            kind = (
-                ViolationKind.FALSE_NEGATIVE
-                if hb_row >> i & 1
-                else ViolationKind.FALSE_POSITIVE
+
+    hb_mat = oracle.past_matrix()
+    claimed_mat = standard_vector_words(vecs) if hb_mat is not None else None
+    if claimed_mat is not None:
+        # array fast path: XOR the uint64 matrices, mask the diagonal and
+        # every equal-vector group, then decode only nonzero words
+        import numpy as np
+
+        diff = claimed_mat ^ hb_mat
+        jarr = np.arange(m)
+        diff[jarr, jarr >> 6] &= ~(
+            np.uint64(1) << (jarr & 63).astype(np.uint64)
+        )
+        for v, idxs in groups.items():
+            if len(idxs) < 2:
+                continue
+            arr = np.asarray(idxs, dtype=np.int64)
+            gm = np.zeros(diff.shape[1], dtype=np.uint64)
+            np.bitwise_or.at(
+                gm, arr >> 6, np.uint64(1) << (arr & 63).astype(np.uint64)
             )
-            keyed.append(
-                (
-                    (min(i, j), max(i, j), 0 if i < j else 1),
-                    Violation(kind, ids[i], ids[j], vecs[i], vecs[j]),
+            diff[arr] &= ~gm
+        jj, ww = np.nonzero(diff)
+        diff_words = diff[jj, ww].tolist()
+        hb_words = hb_mat[jj, ww].tolist()
+        for j, w, dw, hw in zip(
+            jj.tolist(), ww.tolist(), diff_words, hb_words
+        ):
+            base = w << 6
+            while dw:
+                low = dw & -dw
+                b = low.bit_length() - 1
+                dw ^= low
+                i = base + b
+                kind = (
+                    ViolationKind.FALSE_NEGATIVE
+                    if hw >> b & 1
+                    else ViolationKind.FALSE_POSITIVE
                 )
-            )
+                keyed.append(
+                    (
+                        (min(i, j), max(i, j), 0 if i < j else 1),
+                        Violation(kind, ids[i], ids[j], vecs[i], vecs[j]),
+                    )
+                )
+    else:
+        claimed_rows = standard_vector_rows(vecs)
+        assert claimed_rows is not None  # lengths validated above
+        hb_rows = oracle.past_masks()
+        group_mask: Dict[Tuple[float, ...], int] = {}
+        for v, idxs in groups.items():
+            mask = 0
+            for i in idxs:
+                mask |= 1 << i
+            group_mask[v] = mask
+        for j in range(m):
+            dup = group_mask[vecs[j]] & ~(1 << j)
+            diff_j = (claimed_rows[j] ^ hb_rows[j]) & ~(1 << j) & ~dup
+            hb_row = hb_rows[j]
+            while diff_j:
+                low = diff_j & -diff_j
+                i = low.bit_length() - 1
+                diff_j ^= low
+                kind = (
+                    ViolationKind.FALSE_NEGATIVE
+                    if hb_row >> i & 1
+                    else ViolationKind.FALSE_POSITIVE
+                )
+                keyed.append(
+                    (
+                        (min(i, j), max(i, j), 0 if i < j else 1),
+                        Violation(kind, ids[i], ids[j], vecs[i], vecs[j]),
+                    )
+                )
     keyed.sort(key=lambda kv: kv[0])
     violations = [v for _k, v in keyed]
     # observability: matrix-validate work done by the lower-bound checker

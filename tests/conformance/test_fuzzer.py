@@ -17,6 +17,7 @@ from repro.conformance import (
     shrink_ops,
     star_center_of,
 )
+from repro.core.backend import numpy_available
 from repro.core.random_executions import (
     execution_from_ops,
     normalize_ops,
@@ -108,11 +109,15 @@ class TestInvariants:
         report = fuzz(trials=20, seed=0)
         assert report.ok, report.mismatches[:3]
         assert report.trials == 20
-        # all four invariant families actually ran
-        assert set(report.checks) == {
+        # every invariant family actually ran (backend-differential needs
+        # the optional numpy kernel)
+        expected = {
             "exact-vs-hb", "matrix-vs-pairwise", "one-sided",
             "oracle-differential", "finalization-monotonic",
         }
+        if numpy_available():
+            expected.add("backend-differential")
+        assert set(report.checks) == expected
 
     def test_trial_generation_is_deterministic(self):
         a = generate_trial(0, 7, ("star", "tree", "random"), 40)

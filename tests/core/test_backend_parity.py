@@ -1,0 +1,216 @@
+"""Byte-identity of the numpy kernel backend against the pure reference.
+
+Every answer the array backend can produce — past masks, relation counts,
+vector clocks, closures, whole-assignment validation reports — must equal
+the pure-python oracle's answer exactly, on arbitrary executions.  These
+are the property-based teeth behind the conformance fuzzer's
+``backend-differential`` invariant.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clocks import INFINITY, LamportClock, VectorClock, replay_one
+from repro.clocks.base import standard_vector_words
+from repro.core import ExecutionBuilder, HappenedBeforeOracle
+from repro.core.backend import (
+    NUMPY_MIN_EVENTS,
+    numpy_available,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.core.happened_before import downward_closure
+from repro.core.incremental import IncrementalHBOracle
+from repro.core.random_executions import random_execution
+from repro.topology import generators
+
+needs_numpy = pytest.mark.skipif(
+    not numpy_available(), reason="requires numpy >= 2.0"
+)
+
+
+def _random_ex(seed: int, n: int = 5, steps: int = 60):
+    rng = random.Random(seed)
+    graph = generators.erdos_renyi(n, 0.6, rng)
+    return random_execution(
+        graph, rng, steps=steps, p_deliver=0.3, p_local=0.2
+    )
+
+
+@needs_numpy
+class TestOracleParity:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_past_masks_and_counts_identical(self, seed):
+        ex = _random_ex(seed)
+        pure = HappenedBeforeOracle(ex, backend="pure")
+        fast = HappenedBeforeOracle(ex, backend="numpy")
+        assert fast.backend == "numpy" and pure.backend == "pure"
+        assert fast.past_masks() == pure.past_masks()
+        assert fast.relation_counts() == pure.relation_counts()
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_vector_clocks_identical(self, seed):
+        ex = _random_ex(seed)
+        pure = HappenedBeforeOracle(ex, backend="pure")
+        fast = HappenedBeforeOracle(ex, backend="numpy")
+        for ev in ex.all_events():
+            assert fast.vector_clock(ev.eid) == pure.vector_clock(ev.eid)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 4))
+    def test_downward_closure_identical(self, seed, k):
+        ex = _random_ex(seed)
+        ids = [ev.eid for ev in ex.all_events()]
+        if not ids:
+            return
+        rng = random.Random(seed + 1)
+        seeds = rng.sample(ids, min(k, len(ids)))
+        pure = HappenedBeforeOracle(ex, backend="pure")
+        fast = HappenedBeforeOracle(ex, backend="numpy")
+        assert downward_closure(fast, seeds) == downward_closure(pure, seeds)
+        assert downward_closure(fast, []) == set()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_pairwise_queries_identical(self, seed):
+        ex = _random_ex(seed, steps=40)
+        ids = [ev.eid for ev in ex.all_events()]
+        pure = HappenedBeforeOracle(ex, backend="pure")
+        fast = HappenedBeforeOracle(ex, backend="numpy")
+        rng = random.Random(seed + 2)
+        for _ in range(30):
+            e, f = rng.choice(ids), rng.choice(ids)
+            assert fast.happened_before(e, f) == pure.happened_before(e, f)
+            assert fast.concurrent(e, f) == pure.concurrent(e, f)
+        assert fast.causal_past(ids[-1]) == pure.causal_past(ids[-1])
+
+
+@needs_numpy
+class TestValidateParity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_vector_clock_reports_identical(self, seed):
+        ex = _random_ex(seed)
+        n = ex.n_processes
+        asg = replay_one(ex, VectorClock(n))
+        fast = asg.validate(HappenedBeforeOracle(ex, backend="numpy"))
+        pure = asg.validate(HappenedBeforeOracle(ex, backend="pure"))
+        assert fast == pure
+        assert fast.characterizes
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_lamport_mismatch_decodes_identical(self, seed):
+        """Lamport clocks produce false positives; the numpy matrix scan
+        must decode exactly the same mismatching pairs as the pure loop."""
+        ex = _random_ex(seed)
+        n = ex.n_processes
+        asg = replay_one(ex, LamportClock(n))
+        fast = asg.validate(HappenedBeforeOracle(ex, backend="numpy"))
+        pure = asg.validate(HappenedBeforeOracle(ex, backend="pure"))
+        assert fast == pure
+
+
+@needs_numpy
+class TestEdgeShapes:
+    def test_empty_execution(self):
+        ex = ExecutionBuilder(3).freeze()
+        pure = HappenedBeforeOracle(ex, backend="pure")
+        fast = HappenedBeforeOracle(ex, backend="numpy")
+        assert fast.past_masks() == pure.past_masks() == ()
+        assert fast.relation_counts() == pure.relation_counts()
+
+    def test_single_process(self):
+        b = ExecutionBuilder(1)
+        for _ in range(70):  # past a uint64 word boundary
+            b.local(0)
+        ex = b.freeze()
+        pure = HappenedBeforeOracle(ex, backend="pure")
+        fast = HappenedBeforeOracle(ex, backend="numpy")
+        assert fast.past_masks() == pure.past_masks()
+        assert fast.relation_counts() == pure.relation_counts()
+        for ev in ex.all_events():
+            assert fast.vector_clock(ev.eid) == pure.vector_clock(ev.eid)
+
+
+@needs_numpy
+class TestFreezeParity:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_streamed_freeze_matches_batch(self, seed):
+        ex = _random_ex(seed)
+        n = ex.n_processes
+        inc = IncrementalHBOracle(n).ingest(ex)
+        frozen = inc.freeze(ex, backend="numpy")
+        assert frozen.backend == "numpy"
+        pure = HappenedBeforeOracle(ex, backend="pure")
+        assert frozen.past_masks() == pure.past_masks()
+        for ev in ex.all_events():
+            assert frozen.vector_clock(ev.eid) == pure.vector_clock(ev.eid)
+
+
+class TestBackendSelection:
+    def test_resolve_forced_overrides_auto(self):
+        with use_backend("pure"):
+            assert resolve_backend(1_000_000) == "pure"
+        set_backend(None)  # use_backend restored it already; idempotent
+
+    def test_explicit_override_beats_forced(self):
+        with use_backend("pure"):
+            if numpy_available():
+                assert resolve_backend(10, override="numpy") == "numpy"
+            assert resolve_backend(10**6, override="pure") == "pure"
+
+    def test_auto_threshold(self):
+        expected = "numpy" if numpy_available() else "pure"
+        assert resolve_backend(NUMPY_MIN_EVENTS) == expected
+        assert resolve_backend(NUMPY_MIN_EVENTS - 1) == "pure"
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "pure")
+        assert resolve_backend(10**6) == "pure"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend(10, override="cuda")
+        with pytest.raises(ValueError):
+            set_backend("cuda")
+
+    @needs_numpy
+    def test_oracle_honours_forcing(self):
+        ex = _random_ex(3)
+        with use_backend("numpy"):
+            assert HappenedBeforeOracle(ex).backend == "numpy"
+        with use_backend("pure"):
+            assert HappenedBeforeOracle(ex).backend == "pure"
+
+
+class TestStandardVectorWords:
+    @needs_numpy
+    def test_infinity_falls_back_to_none(self):
+        vecs = [(0.0, 1.0), (1.0, INFINITY)]
+        assert standard_vector_words(vecs) is None
+
+    @needs_numpy
+    def test_fractional_falls_back_to_none(self):
+        assert standard_vector_words([(0.5, 1.0), (1.0, 2.0)]) is None
+
+    @needs_numpy
+    def test_integral_floats_accepted(self):
+        mat = standard_vector_words([(0.0, 1.0), (1.0, 2.0)])
+        assert mat is not None
+        # row 1 dominates row 0, not vice versa
+        assert int(mat[1, 0]) & 1 == 1
+        assert int(mat[0, 0]) == 0
+
+    def test_returns_none_without_numpy(self, monkeypatch):
+        import repro.clocks.base as base
+        import repro.core.backend as backend_mod
+
+        monkeypatch.setattr(backend_mod, "numpy_available", lambda: False)
+        assert base.standard_vector_words([(0, 1), (1, 2)]) is None

@@ -20,19 +20,26 @@ Measures, with fixed seeds so runs are comparable:
   query-cache latency.  Written to a separate ``BENCH_PR4.json`` snapshot
   together with **metrics_overhead** (instrument resolve-per-call vs cached
   handle on the histogram hot path).
+- **kernel_backends** — pure-python vs numpy oracle backend: bulk
+  past-matrix build on a dense clique (appends/s = events over build
+  seconds), streaming ``freeze()``, and whole-assignment ``validate`` on a
+  cache-resident star, reports asserted identical.  Written to
+  ``BENCH_PR7.json``; skipped (without failing) when numpy is unavailable.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_snapshot.py                # full run
     PYTHONPATH=src python tools/bench_snapshot.py --quick \\
         --check BENCH_PR2.json --max-regression 3 \\
-        --min-incremental-speedup 1.0                            # CI smoke
+        --min-incremental-speedup 1.0 --min-kernel-speedup 2.0   # CI smoke
 
-The default output paths are ``BENCH_PR2.json`` / ``BENCH_PR4.json`` in the
-repo root; ``--check`` compares the kernel section against a baseline file
-and exits non-zero on a regression beyond ``--max-regression``, and
-``--min-incremental-speedup`` fails the run when the streaming oracle does
-not beat rebuild-per-query-batch by the given factor.
+The default output paths are ``BENCH_PR2.json`` / ``BENCH_PR4.json`` /
+``BENCH_PR7.json`` in the repo root; ``--check`` compares the kernel section
+against a baseline file and exits non-zero on a regression beyond
+``--max-regression``, ``--min-incremental-speedup`` fails the run when the
+streaming oracle does not beat rebuild-per-query-batch by the given factor,
+and ``--min-kernel-speedup`` fails it when the numpy kernel backend does not
+beat the pure one by the given factor (skipped when numpy is absent).
 """
 
 from __future__ import annotations
@@ -81,9 +88,14 @@ def bench_kernel() -> Dict[str, float]:
         graph, random.Random(KERNEL_SEED), steps=KERNEL_STEPS,
         deliver_all=True,
     )
-    build_s = _best_of(lambda: HappenedBeforeOracle(ex).relation_counts())
+    # pinned to the pure backend: this section is compared against committed
+    # baselines, and the numpy path is measured separately in
+    # bench_kernel_backends
+    build_s = _best_of(
+        lambda: HappenedBeforeOracle(ex, backend="pure").relation_counts()
+    )
 
-    oracle = HappenedBeforeOracle(ex)
+    oracle = HappenedBeforeOracle(ex, backend="pure")
     ids = oracle.event_order
     rng = random.Random(KERNEL_SEED + 1)
     pairs = [
@@ -113,7 +125,8 @@ def bench_validate(quick: bool) -> Dict[str, object]:
     ex = random_execution(
         graph, random.Random(11), steps=steps, deliver_all=True
     )
-    oracle = HappenedBeforeOracle(ex)
+    # pure backend keeps this section comparable with committed baselines
+    oracle = HappenedBeforeOracle(ex, backend="pure")
     assignments = replay(ex, [StarInlineClock(n), VectorClock(n)])
     out: Dict[str, object] = {"n_events": ex.n_events, "schemes": {}}
     speedups = []
@@ -265,7 +278,7 @@ def bench_oracle_incremental(quick: bool) -> Dict[str, object]:
                     msg_map[ev.msg_id] = builder.send(ev.eid.proc, dst[ev.eid])
                 else:
                     builder.local(ev.eid.proc)
-            oracle = HappenedBeforeOracle(builder.freeze())
+            oracle = HappenedBeforeOracle(builder.freeze(), backend="pure")
             hb = oracle.happened_before
             answers.append([hb(e, f) for e, f in pairs])
             answers.append(_batch_frontier(oracle, seeds))
@@ -349,6 +362,115 @@ def bench_metrics_overhead() -> Dict[str, object]:
     }
 
 
+def bench_kernel_backends(quick: bool) -> Dict[str, object]:
+    """Pure vs numpy oracle backend on the build, freeze and validate paths.
+
+    Two workloads, both chosen so the uint64 past-matrix stays cache
+    resident (the regime the numpy backend targets):
+
+    - **build** — a dense 64-process clique with mostly-local steps and a
+      low delivery probability, i.e. long anchor chains with wide rows.
+      ``appends/s`` is events over construction seconds.  The pure
+      constructor also computes vector clocks eagerly where the numpy one
+      defers them; that asymmetry is the design (timestamps are delayed
+      until queried), so both sides are timed as "constructor returns".
+    - **validate** — a 32-process star replayed with a vector clock, then
+      :meth:`TimestampAssignment.validate` against a pure-backend vs a
+      numpy-backend oracle, reports asserted identical.
+    """
+    from repro.core.backend import numpy_available
+
+    if not numpy_available():
+        return {"skipped": "numpy >= 2.0 not importable"}
+
+    build_steps = 1_024 if quick else 4_096
+    graph = generators.clique(64)
+    ex = random_execution(
+        graph, random.Random(41), steps=build_steps,
+        p_deliver=0.06, p_local=0.6,
+    )
+    pure_build_s = _best_of(
+        lambda: HappenedBeforeOracle(ex, backend="pure"), repeats=2
+    )
+    numpy_build_s = _best_of(
+        lambda: HappenedBeforeOracle(ex, backend="numpy"), repeats=3
+    )
+    # the bulk row path alone — the constructor also pays the python-side
+    # dense-index dicts, which both backends share
+    from repro.core import npkernel
+
+    bulk_s = _best_of(lambda: npkernel.bulk_past_matrix(ex), repeats=5)
+    # parity spot check on the workload being timed
+    assert (
+        HappenedBeforeOracle(ex, backend="numpy").past_masks()
+        == HappenedBeforeOracle(ex, backend="pure").past_masks()
+    ), "backend past-mask divergence on the build workload"
+
+    inc = IncrementalHBOracle(graph.n_vertices).ingest(ex)
+    freeze_pure_s = _best_of(
+        lambda: inc.freeze(ex, backend="pure"), repeats=2
+    )
+    freeze_numpy_s = _best_of(
+        lambda: inc.freeze(ex, backend="numpy"), repeats=3
+    )
+
+    v_steps = 400 if quick else 2_000
+    n = 32
+    ex2 = random_execution(
+        graph=generators.star(n), rng=random.Random(43), steps=v_steps,
+        deliver_all=True,
+    )
+    pure_oracle = HappenedBeforeOracle(ex2, backend="pure")
+    numpy_oracle = HappenedBeforeOracle(ex2, backend="numpy")
+    (asg,) = replay(ex2, [VectorClock(n)])
+    assert asg.validate(numpy_oracle) == asg.validate(pure_oracle), (
+        "backend validate-report divergence on the validate workload"
+    )
+    pure_validate_s = _best_of(lambda: asg.validate(pure_oracle), repeats=2)
+    numpy_validate_s = _best_of(lambda: asg.validate(numpy_oracle), repeats=3)
+
+    build_speedup = (
+        pure_build_s / numpy_build_s if numpy_build_s else float("inf")
+    )
+    freeze_speedup = (
+        freeze_pure_s / freeze_numpy_s if freeze_numpy_s else float("inf")
+    )
+    validate_speedup = (
+        pure_validate_s / numpy_validate_s
+        if numpy_validate_s
+        else float("inf")
+    )
+    return {
+        "build": {
+            "workload": f"clique n=64, steps={build_steps}, "
+                        "p_deliver=0.06, p_local=0.6",
+            "n_events": ex.n_events,
+            "pure_build_s": round(pure_build_s, 6),
+            "numpy_build_s": round(numpy_build_s, 6),
+            "build_speedup": round(build_speedup, 2),
+            "numpy_appends_per_s": (
+                round(ex.n_events / numpy_build_s) if numpy_build_s else 0
+            ),
+            "bulk_matrix_s": round(bulk_s, 6),
+            "bulk_rows_per_s": round(ex.n_events / bulk_s) if bulk_s else 0,
+            "freeze_pure_s": round(freeze_pure_s, 6),
+            "freeze_numpy_s": round(freeze_numpy_s, 6),
+            "freeze_speedup": round(freeze_speedup, 2),
+        },
+        "validate": {
+            "workload": f"star n=32, steps={v_steps}, deliver_all",
+            "n_events": ex2.n_events,
+            "pure_validate_s": round(pure_validate_s, 6),
+            "numpy_validate_s": round(numpy_validate_s, 6),
+            "validate_speedup": round(validate_speedup, 2),
+            "identical_reports": True,
+        },
+        "min_speedup": round(
+            min(build_speedup, freeze_speedup, validate_speedup), 2
+        ),
+    }
+
+
 def check_regression(
     snapshot: Dict[str, object],
     baseline_path: pathlib.Path,
@@ -389,6 +511,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default=REPO_ROOT / "BENCH_PR4.json",
                         help="where to write the incremental-oracle / "
                              "metrics-overhead snapshot")
+    parser.add_argument("--pr7-out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_PR7.json",
+                        help="where to write the kernel-backends "
+                             "(pure vs numpy) snapshot")
     parser.add_argument("--check", type=pathlib.Path, default=None,
                         metavar="BASELINE",
                         help="compare the kernel section against a "
@@ -398,6 +524,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         metavar="FACTOR",
                         help="fail unless the streaming oracle beats "
                              "rebuild-per-query-batch by this factor")
+    parser.add_argument("--min-kernel-speedup", type=float, default=None,
+                        metavar="FACTOR",
+                        help="fail unless the numpy backend beats the pure "
+                             "one by this factor on every measured path "
+                             "(no-op when numpy is unavailable)")
     args = parser.parse_args(argv)
 
     print("kernel microbenchmark "
@@ -440,7 +571,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"({oracle_inc['appends_per_s']} appends/s, warm-cache query "
           f"{oracle_inc['warm_speedup']}x over cold)")
 
+    print("kernel backends pure vs numpy "
+          f"(clique n=64, {1024 if args.quick else 4096} steps)...")
+    backends = bench_kernel_backends(args.quick)
+    pr7: Dict[str, object] = {
+        "schema": "bench_pr7/v1",
+        "mode": "quick" if args.quick else "full",
+        "python": platform.python_version(),
+        "kernel_backends": backends,
+    }
+    args.pr7_out.write_text(json.dumps(pr7, indent=2) + "\n")
+    print(f"snapshot written to {args.pr7_out}")
+    if "skipped" in backends:
+        print(f"kernel backends skipped: {backends['skipped']}")
+    else:
+        build = backends["build"]
+        val = backends["validate"]
+        print(f"numpy backend: build {build['build_speedup']}x "  # type: ignore[index]
+              f"({build['numpy_appends_per_s']} appends/s, bulk row path "  # type: ignore[index]
+              f"{build['bulk_rows_per_s']} rows/s), "  # type: ignore[index]
+              f"freeze {build['freeze_speedup']}x, "  # type: ignore[index]
+              f"validate {val['validate_speedup']}x")  # type: ignore[index]
+
     rc = 0
+    if args.min_kernel_speedup is not None:
+        if "skipped" in backends:
+            print("kernel-speedup gate skipped (numpy unavailable)")
+        elif backends["min_speedup"] < args.min_kernel_speedup:  # type: ignore[operator]
+            print(f"numpy backend too slow: {backends['min_speedup']}x < "
+                  f"required {args.min_kernel_speedup}x")
+            rc = 1
+        else:
+            print(f"kernel-backend speedup within bounds "
+                  f"(>= {args.min_kernel_speedup}x)")
     if args.min_incremental_speedup is not None:
         if speedup < args.min_incremental_speedup:  # type: ignore[operator]
             print(f"incremental oracle too slow: {speedup}x < required "
