@@ -9,21 +9,80 @@ the topology × seed grids, the chaos scenarios — fans out over that many
 worker processes via :func:`repro.bench.parallel_map`.  Results are
 identical to a serial run; only the wall clock changes.
 
+With ``--fabric DIR`` the suite instead runs through the resumable
+work-queue fabric (:mod:`repro.fabric`): one cell per driver module,
+completion records stored in ``DIR`` so an interrupted overnight run
+(``^C``, SIGTERM, OOM-killed host) restarted with ``--resume`` skips
+every experiment that already passed.  Failed modules are never stored,
+so they rerun on resume.
+
 Usage::
 
     python benchmarks/run_all.py                 # serial, every experiment
     python benchmarks/run_all.py --jobs 4        # 4 workers per sweep
     python benchmarks/run_all.py -k e7 --jobs 2  # just E7
+    python benchmarks/run_all.py --fabric out/bench-store --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import os
 import pathlib
 import subprocess
 import sys
 from typing import Optional, Sequence
+
+
+def _fabric_main(args: argparse.Namespace, here: pathlib.Path) -> int:
+    sys.path.insert(0, str(here.parent / "src"))
+    from repro.fabric import (
+        CellFailed,
+        FabricInterrupted,
+        ResultStore,
+        run_fabric,
+    )
+    from repro.fabric.drivers import bench_module_specs
+
+    modules = sorted(p.name for p in here.glob("bench_e*.py"))
+    if args.keyword:
+        modules = [
+            m for m in modules
+            if fnmatch.fnmatch(m, f"*{args.keyword}*")
+        ]
+    if not modules:
+        print(f"run_all: no driver matches {args.keyword!r}",
+              file=sys.stderr)
+        return 2
+    os.environ["REPRO_BENCH_JOBS"] = str(max(1, args.jobs))
+    specs = bench_module_specs(modules)
+    store = ResultStore(args.fabric)
+    try:
+        report = run_fabric(specs, store, resume=args.resume)
+    except FabricInterrupted as exc:
+        print(
+            f"run_all: interrupted with {exc.remaining} experiment(s) "
+            f"remaining; rerun with --fabric {args.fabric} --resume",
+            file=sys.stderr,
+        )
+        return 130
+    except CellFailed as exc:
+        print(f"run_all: {exc}", file=sys.stderr)
+        if exc.errors:
+            print(exc.errors[-1], file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"run_all: {exc}", file=sys.stderr)
+        return 2
+    for result in report.iter_results():
+        print(f"ok {result['module']}")
+    print(
+        f"run_all: {len(report.keys)} experiment(s) complete "
+        f"({report.stats['cells_resumed']} resumed); store digest "
+        f"{store.digest(report.keys)[:16]}"
+    )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -36,9 +95,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "-k", dest="keyword", default=None,
         help="pytest -k expression to select experiments (e.g. 'e7 or e16')",
     )
+    parser.add_argument(
+        "--fabric", metavar="DIR", default=None,
+        help="run one fabric cell per driver module, storing completion "
+        "records in DIR (resumable with --resume)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip driver modules already completed in the --fabric store",
+    )
     args = parser.parse_args(argv)
 
     here = pathlib.Path(__file__).resolve().parent
+    if args.resume and not args.fabric:
+        parser.error("--resume requires --fabric DIR")
+    if args.fabric:
+        return _fabric_main(args, here)
+
     env = dict(os.environ)
     env["REPRO_BENCH_JOBS"] = str(max(1, args.jobs))
     src = str(here.parent / "src")

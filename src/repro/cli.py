@@ -450,9 +450,173 @@ def cmd_sync(args: argparse.Namespace) -> int:
     return 0 if mismatches == 0 else 1
 
 
+def _parse_hostport(raw: str) -> "tuple[str, int]":
+    host, _, port = raw.rpartition(":")
+    return host or "127.0.0.1", int(port)
+
+
+def _announce_listen(addr: "tuple[str, int]") -> None:
+    # printed (and flushed) before any cell runs, so scripts can scrape
+    # the bound port and launch `repro fabric-worker --connect`
+    print(f"fabric: serving work queue on {addr[0]}:{addr[1]}", flush=True)
+
+
+def _check_fabric_args(args: argparse.Namespace) -> Optional[str]:
+    if args.fabric is None:
+        if args.resume:
+            return "--resume requires --fabric DIR"
+        if args.fabric_listen:
+            return "--fabric-listen requires --fabric DIR"
+        if args.workers != 1:
+            return "--workers requires --fabric DIR (use --jobs otherwise)"
+    return None
+
+
+def _print_chaos_tail(args: argparse.Namespace, report, retry,
+                      n: int) -> int:
+    """The common human-readable sweep summary (serial and fabric paths)."""
+    from repro.faults import ROW_HEADER
+
+    transport = (
+        "fire-and-forget"
+        if args.unreliable
+        else f"reliable (timeout={retry.timeout}, backoff={retry.backoff}, "
+        f"max_retries={retry.max_retries})"
+    )
+    print(
+        f"chaos sweep: topology={args.topology} n={n} "
+        f"events={args.events} seed={args.seed} control transport: {transport}"
+    )
+    if report.skipped:
+        print(f"skipped FIFO-requiring clocks: {', '.join(report.skipped)}")
+    print(format_table(ROW_HEADER, report.rows()))
+    failures = report.failures()
+    if failures:
+        for cell in failures:
+            kind = (
+                "causality" if not cell.causality_ok else "crash checkpoint"
+            )
+            print(f"FAIL: {cell.scenario} × {cell.clock} ({kind} invariant)")
+    else:
+        print("all scenario × clock invariants hold")
+    return 0 if report.ok else 1
+
+
+def _cmd_chaos_fabric(args: argparse.Namespace, graph, factories,
+                      retry) -> int:
+    """Chaos sweep through the resumable work-queue fabric.
+
+    One fabric cell per scenario; the compacted trace and the merged
+    report are byte-identical to the serial ``repro chaos`` run of the
+    same coordinates, whatever the placement or interruption history.
+    """
+    from repro.fabric import (
+        CellFailed,
+        FabricInterrupted,
+        ResultStore,
+        StreamingTraceWriter,
+        cell_key,
+        compact_fragments,
+        run_fabric,
+    )
+    from repro.fabric.drivers import chaos_cell_specs, merge_chaos_results
+
+    skipped = sorted(
+        name for name, factory in factories.items()
+        if factory().requires_fifo_app
+    )
+    specs = chaos_cell_specs(
+        args.topology,
+        graph.n_vertices,
+        args.events,
+        args.seed,
+        clocks=list(args.clocks),
+        quick=bool(args.quick),
+        reliable=not args.unreliable,
+        retry_timeout=retry.timeout,
+        retry_max=retry.max_retries,
+    )
+    keys = [cell_key(spec) for spec in specs]
+    store = ResultStore(args.fabric)
+    listen = (
+        _parse_hostport(args.fabric_listen) if args.fabric_listen else None
+    )
+    interrupted: Optional[FabricInterrupted] = None
+    try:
+        with _graceful_signals():
+            fabric_report = run_fabric(
+                specs,
+                store,
+                workers=args.workers,
+                resume=args.resume,
+                listen=listen,
+                listen_ready=_announce_listen,
+            )
+    except FabricInterrupted as exc:
+        interrupted = exc
+    except (CellFailed, ValueError, OSError) as exc:
+        return _error(str(exc))
+
+    report = None
+    if interrupted is None:
+        report = merge_chaos_results(fabric_report.iter_results(), skipped)
+    if args.trace_out:
+        # identical header (run id included) to the serial --trace-out:
+        # the meta excludes every fabric/placement flag
+        meta = {
+            "clocks": list(args.clocks),
+            "events": args.events,
+            "n": graph.n_vertices,
+            "quick": bool(args.quick),
+            "reliable": not args.unreliable,
+            "seed": args.seed,
+            "topology": args.topology,
+        }
+        try:
+            with StreamingTraceWriter(
+                args.trace_out,
+                kind="chaos",
+                run_id=deterministic_run_id("chaos", tuple(meta.items())),
+                meta=meta,
+            ) as writer:
+                if skipped:
+                    writer.event("skipped-clocks", clocks=skipped)
+                compact_fragments(
+                    writer, store, keys,
+                    skip_missing=interrupted is not None,
+                )
+                if report is not None:
+                    writer.event(
+                        "sweep-summary",
+                        cells=len(report.cells),
+                        failures=len(report.failures()),
+                        ok=report.ok,
+                    )
+        except OSError as exc:
+            return _error(f"cannot write trace {args.trace_out}: {exc}")
+        if interrupted is not None:
+            print(f"partial trace written to {args.trace_out}",
+                  file=sys.stderr)
+    if interrupted is not None:
+        print(
+            f"repro: error: chaos sweep interrupted "
+            f"({interrupted.done} cell(s) completed this run, "
+            f"{interrupted.remaining} remaining; rerun with --fabric "
+            f"{args.fabric} --resume)",
+            file=sys.stderr,
+        )
+        return INTERRUPTED
+    status = _print_chaos_tail(args, report, retry, graph.n_vertices)
+    if args.trace_out:
+        print(f"structured trace written to {args.trace_out}")
+    print(f"fabric: store {store.root} holds {len(store)} cell(s), "
+          f"digest {store.digest(keys)[:16]}")
+    return status
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-scenario sweep with invariant checking (experiment E16)."""
-    from repro.faults import ROW_HEADER, default_scenarios, run_chaos
+    from repro.faults import default_scenarios, run_chaos
     from repro.sim.network import RetryPolicy
 
     graph = build_topology(args.topology, args.n, args.seed)
@@ -462,6 +626,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     retry = RetryPolicy(
         timeout=args.retry_timeout, max_retries=args.max_retries
     )
+    bad = _check_fabric_args(args)
+    if bad is not None:
+        return _error(bad)
+    if args.fabric is not None:
+        return _cmd_chaos_fabric(args, graph, factories, retry)
     tracer = None
     if args.trace_out:
         # run id and meta deliberately exclude --jobs: a parallel sweep's
@@ -502,35 +671,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                       f"{args.trace_out}: {exc}", file=sys.stderr)
         print("repro: error: chaos sweep interrupted", file=sys.stderr)
         return INTERRUPTED
-    transport = (
-        "fire-and-forget"
-        if args.unreliable
-        else f"reliable (timeout={retry.timeout}, backoff={retry.backoff}, "
-        f"max_retries={retry.max_retries})"
-    )
-    print(
-        f"chaos sweep: topology={args.topology} n={graph.n_vertices} "
-        f"events={args.events} seed={args.seed} control transport: {transport}"
-    )
-    if report.skipped:
-        print(f"skipped FIFO-requiring clocks: {', '.join(report.skipped)}")
-    print(format_table(ROW_HEADER, report.rows()))
-    failures = report.failures()
-    if failures:
-        for cell in failures:
-            kind = (
-                "causality" if not cell.causality_ok else "crash checkpoint"
-            )
-            print(f"FAIL: {cell.scenario} × {cell.clock} ({kind} invariant)")
-    else:
-        print("all scenario × clock invariants hold")
+    status = _print_chaos_tail(args, report, retry, graph.n_vertices)
     if tracer is not None:
         try:
             tracer.write(args.trace_out)
         except OSError as exc:
             return _error(f"cannot write trace {args.trace_out}: {exc}")
         print(f"structured trace written to {args.trace_out}")
-    return 0 if report.ok else 1
+    return status
 
 
 def _build_live_faults(loss: float, duplicate: float):
@@ -887,15 +1035,78 @@ def cmd_conformance(args: argparse.Namespace) -> int:
                       f"{mm.scheme}: {mm.detail}", file=sys.stderr)
         print(f"corpus: {len(cases)} pinned case(s), "
               f"{corpus_mismatches} mismatch(es)")
-    report = fuzz(
-        trials=args.trials,
-        seed=args.seed,
-        topologies=tuple(args.topology),
-        max_steps=args.steps,
-        tracer=tracer,
-        shrink=not args.no_shrink,
-        backend=args.backend,
-    )
+    bad = _check_fabric_args(args)
+    if bad is not None:
+        return _error(bad)
+    if args.fabric is not None:
+        # shard the campaign into trial-range cells; absolute trial
+        # indices seed each trial, so the merged report — and the JSONL
+        # --report — is exactly the serial campaign's
+        from repro.fabric import (
+            CellFailed,
+            FabricInterrupted,
+            ResultStore,
+            run_fabric,
+        )
+        from repro.fabric.drivers import (
+            conformance_chunk_specs,
+            merge_conformance_results,
+        )
+
+        specs = conformance_chunk_specs(
+            args.trials,
+            args.seed,
+            list(args.topology),
+            args.steps,
+            args.backend,
+            shrink=not args.no_shrink,
+            chunk_size=args.chunk_size,
+        )
+        store = ResultStore(args.fabric)
+        listen = (
+            _parse_hostport(args.fabric_listen)
+            if args.fabric_listen else None
+        )
+        try:
+            with _graceful_signals():
+                fabric_report = run_fabric(
+                    specs,
+                    store,
+                    workers=args.workers,
+                    resume=args.resume,
+                    listen=listen,
+                    listen_ready=_announce_listen,
+                )
+        except FabricInterrupted as exc:
+            print(
+                f"repro: error: conformance campaign interrupted "
+                f"({exc.done} chunk(s) completed this run, {exc.remaining} "
+                f"remaining; rerun with --fabric {args.fabric} --resume)",
+                file=sys.stderr,
+            )
+            return INTERRUPTED
+        except (CellFailed, ValueError, OSError) as exc:
+            return _error(str(exc))
+        report = merge_conformance_results(fabric_report.iter_results())
+        for mm in report.mismatches:
+            tracer.event("mismatch", **mm.to_record())
+        tracer.event(
+            "summary",
+            trials=report.trials,
+            events=report.events_checked,
+            checks=dict(sorted(report.checks.items())),
+            mismatches=len(report.mismatches),
+        )
+    else:
+        report = fuzz(
+            trials=args.trials,
+            seed=args.seed,
+            topologies=tuple(args.topology),
+            max_steps=args.steps,
+            tracer=tracer,
+            shrink=not args.no_shrink,
+            backend=args.backend,
+        )
     print(
         f"conformance: {report.trials} trial(s), seed {args.seed}, "
         f"topologies {'/'.join(args.topology)}, "
@@ -969,7 +1180,56 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_fabric_worker(args: argparse.Namespace) -> int:
+    """Attach to a fabric coordinator and execute leased cells.
+
+    The counterpart of ``--fabric-listen`` on ``repro chaos`` /
+    ``repro conformance``: this process leases cells over TCP, runs them
+    through the same work-kind registry, and ships results home.  Exits
+    0 when the coordinator's queue drains or the coordinator goes away.
+    """
+    from repro.fabric.netqueue import run_remote_worker
+
+    try:
+        host, port = _parse_hostport(args.connect)
+    except ValueError:
+        return _error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    try:
+        with _graceful_signals():
+            completed = run_remote_worker(
+                host,
+                port,
+                name=args.name,
+                heartbeat_interval=args.heartbeat_interval,
+                max_cells=args.max_cells,
+            )
+    except KeyboardInterrupt:
+        print("repro: error: fabric worker interrupted", file=sys.stderr)
+        return INTERRUPTED
+    print(f"fabric worker: completed {completed} cell(s)")
+    return 0
+
+
 # ----------------------------------------------------------------------
+def _add_fabric_args(p: argparse.ArgumentParser) -> None:
+    """The work-queue fabric flags shared by sweep commands."""
+    g = p.add_argument_group("experiment fabric")
+    g.add_argument("--fabric", metavar="DIR", default=None,
+                   help="run through the resumable work-queue fabric, "
+                   "storing per-cell results in DIR (byte-identical to "
+                   "the serial run for any placement)")
+    g.add_argument("--resume", action="store_true",
+                   help="reuse cells already completed in the --fabric "
+                   "store instead of refusing to overwrite them")
+    g.add_argument("--workers", type=int, default=1,
+                   help="local fabric worker processes (0 = serve remote "
+                   "workers only; requires --fabric-listen)")
+    g.add_argument("--fabric-listen", metavar="HOST:PORT", default=None,
+                   help="serve the work queue over TCP so 'repro "
+                   "fabric-worker --connect' processes can join (port 0 "
+                   "picks a free port, printed on startup)")
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1074,6 +1334,9 @@ def make_parser() -> argparse.ArgumentParser:
                    help="kernel backend: pure/numpy pin every oracle; "
                    "auto and old-vs-new also cross-check the numpy array "
                    "kernel against the pure packed-int kernel")
+    p.add_argument("--chunk-size", type=int, default=25,
+                   help="trials per fabric cell (with --fabric)")
+    _add_fabric_args(p)
     p.set_defaults(fn=cmd_conformance)
 
     p = sub.add_parser(
@@ -1100,7 +1363,23 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="write a structured JSONL sweep trace "
                    "(byte-identical for any --jobs)")
+    _add_fabric_args(p)
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser(
+        "fabric-worker",
+        help="join a fabric coordinator over TCP and execute leased cells",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="coordinator address printed by --fabric-listen")
+    p.add_argument("--name", default=None,
+                   help="worker name in lease/heartbeat bookkeeping "
+                   "(default: net-<pid>)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="seconds between lease heartbeats")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="exit after completing this many cells")
+    p.set_defaults(fn=cmd_fabric_worker)
 
     p = sub.add_parser(
         "kv-live",

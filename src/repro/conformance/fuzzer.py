@@ -146,6 +146,35 @@ def _mk(
     )
 
 
+#: Mismatch fields serialized at the top level of a record; everything
+#: else in a record is flattened context (see Mismatch.to_record)
+_RECORD_FIELDS = (
+    "invariant", "scheme", "detail", "n_processes", "edges", "ops", "fifo",
+)
+
+
+def mismatch_from_record(record: Mapping[str, Any]) -> Mismatch:
+    """Rebuild a :class:`Mismatch` from its :meth:`~Mismatch.to_record` dict.
+
+    Ops are flat tuples of scalars and edges are int pairs, so the JSON
+    round trip is lossless — this is what lets fabric workers ship
+    mismatches home as plain records and the coordinator reassemble the
+    exact campaign report.
+    """
+    return Mismatch(
+        invariant=record["invariant"],
+        scheme=record["scheme"],
+        detail=record["detail"],
+        n_processes=record["n_processes"],
+        edges=tuple(tuple(e) for e in record["edges"]),
+        ops=tuple(tuple(op) for op in record["ops"]),
+        fifo=record["fifo"],
+        context={
+            k: v for k, v in record.items() if k not in _RECORD_FIELDS
+        },
+    )
+
+
 # ----------------------------------------------------------------------
 # invariants 1 + 4: scheme vs ground truth, matrix vs pairwise
 # ----------------------------------------------------------------------
@@ -550,6 +579,45 @@ def generate_trial(
     return graph, ops, fifo, context
 
 
+def run_trials(
+    report: ConformanceReport,
+    lo: int,
+    hi: int,
+    *,
+    seed: int = 0,
+    topologies: Sequence[str] = ("star", "tree", "random"),
+    max_steps: int = 40,
+    shrink: bool = True,
+    backend: str = "auto",
+    tracer=None,
+) -> ConformanceReport:
+    """Run campaign trials ``[lo, hi)`` into *report*.
+
+    Trial generation keys off the *absolute* trial index, so a campaign
+    sharded into chunks (the fabric's ``conformance-chunk`` work kind)
+    reproduces the serial campaign exactly, per trial, no matter how the
+    chunks are placed or in which order they complete.
+    """
+    from repro.conformance.shrinker import shrink_mismatch
+
+    for trial in range(lo, hi):
+        graph, ops, fifo, context = generate_trial(
+            seed, trial, topologies, max_steps
+        )
+        found = check_execution(
+            graph, ops, fifo=fifo, context=context, report=report,
+            backend=backend,
+        )
+        report.trials += 1
+        for mm in found:
+            if shrink:
+                mm = shrink_mismatch(graph, mm)
+            report.mismatches.append(mm)
+            if tracer is not None:
+                tracer.event("mismatch", **mm.to_record())
+    return report
+
+
 def fuzz(
     trials: int,
     seed: int = 0,
@@ -567,24 +635,18 @@ def fuzz(
     :func:`check_execution` (``old-vs-new`` forces the pure-vs-numpy
     differential on every trial).
     """
-    from repro.conformance.shrinker import shrink_mismatch
-
     report = ConformanceReport()
-    for trial in range(trials):
-        graph, ops, fifo, context = generate_trial(
-            seed, trial, topologies, max_steps
-        )
-        found = check_execution(
-            graph, ops, fifo=fifo, context=context, report=report,
-            backend=backend,
-        )
-        report.trials += 1
-        for mm in found:
-            if shrink:
-                mm = shrink_mismatch(graph, mm)
-            report.mismatches.append(mm)
-            if tracer is not None:
-                tracer.event("mismatch", **mm.to_record())
+    run_trials(
+        report,
+        0,
+        trials,
+        seed=seed,
+        topologies=topologies,
+        max_steps=max_steps,
+        shrink=shrink,
+        backend=backend,
+        tracer=tracer,
+    )
     if tracer is not None:
         tracer.event(
             "summary",

@@ -1,0 +1,44 @@
+"""Fault-tolerant experiment fabric: resumable, placement-free sweeps.
+
+Generalizes :func:`repro.bench.parallel_map` into a work-queue fabric:
+sweep cells are content-hash keyed JSON specs, completed results land
+atomically in a resumable :class:`ResultStore`, and the same sweep runs
+serially, across local worker processes, or across hosts attached via
+``repro fabric-worker`` — always producing byte-identical stores and
+(after compaction) byte-identical traces.  See ``EXPERIMENTS.md`` for
+the operational guide.
+"""
+
+from repro.fabric.compaction import (
+    StreamingTraceWriter,
+    compact_fragments,
+    fold_metrics,
+)
+from repro.fabric.coordinator import (
+    FabricInterrupted,
+    FabricReport,
+    run_fabric,
+)
+from repro.fabric.drivers import WORK_KINDS, execute_cell, work_kind
+from repro.fabric.hashing import FABRIC_SCHEMA, canonical_json, cell_key
+from repro.fabric.queue import CellFailed, WorkQueue
+from repro.fabric.store import ResultStore, StoreError
+
+__all__ = [
+    "FABRIC_SCHEMA",
+    "CellFailed",
+    "FabricInterrupted",
+    "FabricReport",
+    "ResultStore",
+    "StoreError",
+    "StreamingTraceWriter",
+    "WORK_KINDS",
+    "WorkQueue",
+    "canonical_json",
+    "cell_key",
+    "compact_fragments",
+    "execute_cell",
+    "fold_metrics",
+    "run_fabric",
+    "work_kind",
+]

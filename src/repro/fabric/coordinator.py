@@ -1,0 +1,532 @@
+"""Fault-tolerant work-queue coordinator for sweep cells.
+
+:func:`run_fabric` generalizes :func:`repro.bench.parallel_map` into a
+crash-tolerant fabric: cells are content-hash keyed
+(:mod:`repro.fabric.hashing`), completed results land atomically in a
+:class:`~repro.fabric.store.ResultStore`, and placement is free —
+serial, N local worker processes, or remote workers attached over the
+:mod:`repro.net` transport (:mod:`repro.fabric.netqueue`) all produce
+byte-identical stores.
+
+Fault model, in increasing severity:
+
+- **Straggler / hung worker** — its lease expires (no heartbeat within
+  ``lease_timeout``) and the cell is handed to another worker.  If the
+  straggler eventually finishes anyway, the idempotent store absorbs the
+  duplicate completion.
+- **SIGKILLed / crashed worker** — detected via ``Process.is_alive``;
+  its leased cells are requeued immediately and a replacement worker is
+  spawned (bounded by ``max_respawns``).
+- **Failing cell** — a work-function exception is retried up to
+  ``max_retries`` times, then surfaces as
+  :class:`~repro.fabric.queue.CellFailed` carrying every attempt's
+  traceback.
+- **Interrupted coordinator** — SIGINT/SIGTERM (or the ``KeyboardInterrupt``
+  a CLI's signal shim raises) terminates the workers and raises
+  :class:`FabricInterrupted`; everything completed so far is already
+  durable in the store, so rerunning with ``resume=True`` recomputes
+  nothing.
+
+Workers ignore SIGINT so a ^C on the process group unwinds through the
+coordinator alone.  Progress is exported through the active
+:mod:`repro.obs.metrics` registry: ``fabric.cells_done`` /
+``fabric.cells_resumed`` / ``fabric.cells_retried`` /
+``fabric.cells_reassigned`` / ``fabric.workers_spawned`` counters and
+the ``fabric.queue_depth`` gauge.
+
+Deterministic chaos hooks (used by the fabric-smoke CI job and the
+crash-resume test suite; never set them in real runs):
+
+- ``REPRO_FABRIC_TEST_KILL="W:N"`` — worker ``W`` SIGKILLs itself after
+  completing ``N`` cells.
+- ``REPRO_FABRIC_TEST_HANG="W"`` — worker ``W`` hangs instead of
+  executing its first leased cell (exercises lease-timeout reassignment).
+- ``REPRO_FABRIC_TEST_INTERRUPT="N"`` — the coordinator behaves as if
+  ^C arrived after ``N`` completions of the current run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from queue import Empty
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.fabric.hashing import cell_key
+from repro.fabric.queue import CellFailed, WorkQueue
+from repro.fabric.store import ResultStore
+from repro.obs import counter, gauge
+
+__all__ = [
+    "CellFailed",
+    "FabricInterrupted",
+    "FabricReport",
+    "run_fabric",
+]
+
+#: deterministic fault-injection knobs (see module docstring)
+KILL_ENV = "REPRO_FABRIC_TEST_KILL"
+HANG_ENV = "REPRO_FABRIC_TEST_HANG"
+INTERRUPT_ENV = "REPRO_FABRIC_TEST_INTERRUPT"
+
+Executor = Callable[[Mapping[str, Any]], Any]
+
+
+class FabricInterrupted(RuntimeError):
+    """The run was cut short by SIGINT/SIGTERM.
+
+    Completed cells are durable in the store; ``done`` counts this run's
+    completions and ``remaining`` the cells still owed.  Rerunning the
+    same sweep with ``resume=True`` picks up exactly where this stopped.
+    """
+
+    def __init__(self, done: int, remaining: int) -> None:
+        self.done = done
+        self.remaining = remaining
+        super().__init__(
+            f"fabric run interrupted: {done} cell(s) completed this run, "
+            f"{remaining} remaining (store is resumable)"
+        )
+
+
+@dataclass
+class FabricReport:
+    """Outcome of one completed fabric run.
+
+    ``keys`` are in *input order* regardless of execution placement;
+    results are read back from the store so memory stays bounded —
+    :meth:`iter_results` streams one cell at a time (the path trace
+    compaction uses), :meth:`load_results` materializes the list for
+    small sweeps.
+    """
+
+    store: ResultStore
+    keys: List[str]
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def iter_results(self) -> Iterator[Any]:
+        return self.store.iter_results(iter(self.keys))
+
+    def load_results(self) -> List[Any]:
+        return list(self.iter_results())
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+def _parse_kill_plan(raw: Optional[str]) -> Optional[Tuple[int, int]]:
+    if not raw:
+        return None
+    wid, _, after = raw.partition(":")
+    return int(wid), max(1, int(after or "1"))
+
+
+def _heartbeat_loop(event_q, wid: int, key: str, interval: float,
+                    stop: threading.Event) -> None:
+    while not stop.wait(interval):
+        try:
+            event_q.put(("hb", wid, key))
+        except (ValueError, OSError):  # queue torn down mid-beat
+            return
+
+
+def _worker_main(
+    wid: int,
+    task_q,
+    event_q,
+    store_root: str,
+    executor: Executor,
+    heartbeat_interval: float,
+) -> None:
+    """One worker: lease loop of execute → store → report.
+
+    The result is written to the store *before* the completion event is
+    posted, so a crash between the two at worst reports the cell late —
+    never loses it.  SIGINT is ignored: interactive ^C hits the whole
+    process group, and shutdown is the coordinator's call.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    kill_plan = _parse_kill_plan(os.environ.get(KILL_ENV))
+    hang_raw = os.environ.get(HANG_ENV)
+    hang_wid = int(hang_raw) if hang_raw else None
+    store = ResultStore(store_root)
+    completed = 0
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        key, spec = task
+        if hang_wid == wid:
+            # deliberately stuck before any heartbeat: the lease expires
+            # and the coordinator reassigns the cell to a live worker
+            time.sleep(3600.0)
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(event_q, wid, key, heartbeat_interval, stop),
+            daemon=True,
+        )
+        beat.start()
+        try:
+            result = executor(spec)
+            store.put(key, spec, result)
+        except BaseException:
+            stop.set()
+            beat.join()
+            event_q.put(("err", wid, key, traceback.format_exc()))
+            continue
+        stop.set()
+        beat.join()
+        event_q.put(("done", wid, key))
+        completed += 1
+        if (
+            kill_plan is not None
+            and kill_plan[0] == wid
+            and completed >= kill_plan[1]
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ----------------------------------------------------------------------
+# coordinator
+# ----------------------------------------------------------------------
+@dataclass
+class _LocalWorker:
+    wid: int
+    proc: multiprocessing.Process
+    task_q: Any
+    event_q: Any
+    busy_key: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return f"local-{self.wid}"
+
+
+def _default_executor() -> Executor:
+    from repro.fabric.drivers import execute_cell  # deferred: import cycle
+
+    return execute_cell
+
+
+def run_fabric(
+    specs: Sequence[Mapping[str, Any]],
+    store: ResultStore,
+    *,
+    executor: Optional[Executor] = None,
+    workers: int = 1,
+    resume: bool = False,
+    lease_timeout: float = 30.0,
+    heartbeat_interval: Optional[float] = None,
+    max_retries: int = 2,
+    max_respawns: Optional[int] = None,
+    listen: Optional[Tuple[str, int]] = None,
+    listen_ready: Optional[Callable[[Tuple[str, int]], None]] = None,
+    interrupt_after: Optional[int] = None,
+) -> FabricReport:
+    """Run every cell of a sweep through the fabric; return in input order.
+
+    *specs* are JSON-safe cell descriptors (see
+    :func:`repro.fabric.hashing.cell_key`); *executor* maps one spec to a
+    JSON-safe result (default: the ``kind``-dispatched registry of
+    :mod:`repro.fabric.drivers`).  ``workers <= 1`` with no ``listen``
+    address runs serially in-process — no pickling requirements, and the
+    reference mode the byte-identity guarantee is stated against.
+    ``workers = 0`` with ``listen`` serves remote workers only.
+
+    ``resume=True`` skips cells already completed in *store*;
+    ``resume=False`` insists on a store containing no cell of this sweep
+    (mixing two different sweeps in one store directory is always fine —
+    keys never collide).
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if workers == 0 and listen is None:
+        raise ValueError("workers=0 needs a listen address (remote-only run)")
+    keyed: List[Tuple[str, Dict[str, Any]]] = []
+    seen: Dict[str, int] = {}
+    for i, spec in enumerate(specs):
+        key = cell_key(spec)
+        if key in seen:
+            raise ValueError(
+                f"duplicate cell spec at index {i} (same content hash as "
+                f"index {seen[key]}): {dict(spec)!r}"
+            )
+        seen[key] = i
+        keyed.append((key, dict(spec)))
+
+    done_keys = {k for k, _ in keyed if store.has(k)}
+    if done_keys and not resume:
+        raise ValueError(
+            f"store {store.root} already holds {len(done_keys)} cell(s) of "
+            "this sweep; pass resume=True to reuse them or point --fabric "
+            "at a fresh directory"
+        )
+    counter("fabric.cells_resumed").inc(len(done_keys))
+    pending = [(k, s) for k, s in keyed if k not in done_keys]
+    gauge("fabric.queue_depth").set(len(pending))
+
+    if interrupt_after is None:
+        raw = os.environ.get(INTERRUPT_ENV)
+        interrupt_after = int(raw) if raw else None
+
+    stats = {
+        "cells_total": len(keyed),
+        "cells_resumed": len(done_keys),
+        "cells_done": 0,
+        "cells_retried": 0,
+        "cells_reassigned": 0,
+        "workers_spawned": 0,
+    }
+    if pending:
+        if workers <= 1 and listen is None:
+            _run_serial(
+                pending, store, executor or _default_executor(), stats,
+                max_retries, interrupt_after,
+            )
+        else:
+            _run_coordinated(
+                pending, store, executor or _default_executor(), stats,
+                workers=workers,
+                lease_timeout=lease_timeout,
+                heartbeat_interval=heartbeat_interval,
+                max_retries=max_retries,
+                max_respawns=max_respawns,
+                listen=listen,
+                listen_ready=listen_ready,
+                interrupt_after=interrupt_after,
+            )
+    return FabricReport(
+        store=store, keys=[k for k, _ in keyed], stats=stats
+    )
+
+
+def _run_serial(
+    pending: List[Tuple[str, Dict[str, Any]]],
+    store: ResultStore,
+    executor: Executor,
+    stats: Dict[str, int],
+    max_retries: int,
+    interrupt_after: Optional[int],
+) -> None:
+    depth = gauge("fabric.queue_depth")
+    done_ctr = counter("fabric.cells_done")
+    try:
+        for key, spec in pending:
+            errors: List[str] = []
+            while True:
+                try:
+                    result = executor(spec)
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    errors.append(traceback.format_exc())
+                    if len(errors) > max_retries:
+                        raise CellFailed(key, spec, errors) from None
+                    stats["cells_retried"] += 1
+                    counter("fabric.cells_retried").inc()
+            store.put(key, spec, result)
+            stats["cells_done"] += 1
+            done_ctr.inc()
+            depth.set(len(pending) - stats["cells_done"])
+            if (
+                interrupt_after is not None
+                and stats["cells_done"] >= interrupt_after
+                and stats["cells_done"] < len(pending)
+            ):
+                raise KeyboardInterrupt
+    except KeyboardInterrupt:
+        raise FabricInterrupted(
+            stats["cells_done"], len(pending) - stats["cells_done"]
+        ) from None
+
+
+def _run_coordinated(
+    pending: List[Tuple[str, Dict[str, Any]]],
+    store: ResultStore,
+    executor: Executor,
+    stats: Dict[str, int],
+    *,
+    workers: int,
+    lease_timeout: float,
+    heartbeat_interval: Optional[float],
+    max_retries: int,
+    max_respawns: Optional[int],
+    listen: Optional[Tuple[str, int]],
+    listen_ready: Optional[Callable[[Tuple[str, int]], None]],
+    interrupt_after: Optional[int],
+) -> None:
+    if heartbeat_interval is None:
+        heartbeat_interval = min(5.0, max(0.05, lease_timeout / 4.0))
+    if max_respawns is None:
+        max_respawns = workers + 4
+    queue = WorkQueue(
+        dict(pending), lease_timeout=lease_timeout, max_retries=max_retries
+    )
+    ctx = multiprocessing.get_context()
+    fleet: List[_LocalWorker] = []
+    next_wid = 0
+    respawns_left = max_respawns
+    service = None
+    depth = gauge("fabric.queue_depth")
+    done_ctr = counter("fabric.cells_done")
+    seen_retried = seen_reassigned = seen_done = 0
+
+    def spawn() -> None:
+        nonlocal next_wid
+        task_q = ctx.Queue()
+        event_q = ctx.Queue()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(next_wid, task_q, event_q, str(store.root), executor,
+                  heartbeat_interval),
+            daemon=True,
+        )
+        proc.start()
+        fleet.append(_LocalWorker(next_wid, proc, task_q, event_q))
+        counter("fabric.workers_spawned").inc()
+        stats["workers_spawned"] += 1
+        next_wid += 1
+
+    def sync_queue_stats() -> None:
+        # completions are counted off the queue rather than off worker
+        # events so remote completions (absorbed by the FabricService in
+        # its own thread) land in the same stats and the same thread's
+        # metrics registry as local ones
+        nonlocal seen_retried, seen_reassigned, seen_done
+        if queue.done_count() > seen_done:
+            done_ctr.inc(queue.done_count() - seen_done)
+            stats["cells_done"] += queue.done_count() - seen_done
+            seen_done = queue.done_count()
+        if queue.retried > seen_retried:
+            counter("fabric.cells_retried").inc(queue.retried - seen_retried)
+            stats["cells_retried"] += queue.retried - seen_retried
+            seen_retried = queue.retried
+        if queue.reassigned > seen_reassigned:
+            counter("fabric.cells_reassigned").inc(
+                queue.reassigned - seen_reassigned
+            )
+            stats["cells_reassigned"] += queue.reassigned - seen_reassigned
+            seen_reassigned = queue.reassigned
+        depth.set(queue.depth())
+
+    try:
+        if listen is not None:
+            from repro.fabric.netqueue import FabricService  # deferred
+
+            service = FabricService(queue, store)
+            addr = service.start(*listen)
+            if listen_ready is not None:
+                listen_ready(addr)
+        for _ in range(workers):
+            spawn()
+        while not queue.all_done():
+            failure = queue.failure()
+            if failure is not None:
+                raise failure
+            now = time.monotonic()
+            # 1) drain completion/heartbeat/error events per worker
+            for w in fleet:
+                while True:
+                    try:
+                        event = w.event_q.get_nowait()
+                    except (Empty, OSError):
+                        break
+                    tag, wid, key = event[0], event[1], event[2]
+                    if tag == "hb":
+                        queue.heartbeat(key, f"local-{wid}", now)
+                    elif tag == "done":
+                        queue.complete(key, f"local-{wid}")
+                        if w.busy_key == key:
+                            w.busy_key = None
+                    elif tag == "err":
+                        queue.fail_attempt(key, f"local-{wid}", event[3])
+                        if w.busy_key == key:
+                            w.busy_key = None
+            # 2) expire overdue leases (stragglers, silent workers)
+            queue.expire(now)
+            # 3) reap dead workers, requeue their leases, respawn
+            for w in list(fleet):
+                if w.proc.is_alive():
+                    continue
+                queue.release_worker(w.name)
+                fleet.remove(w)
+                w.task_q.close()
+                w.event_q.close()
+                if respawns_left > 0 and not queue.all_done():
+                    respawns_left -= 1
+                    spawn()
+            # 4) hand pending cells to idle workers (lowest input index
+            #    first, so local placement follows sweep order)
+            for w in fleet:
+                if w.busy_key is not None or not w.proc.is_alive():
+                    continue
+                leased = queue.lease(w.name, time.monotonic())
+                if leased is None:
+                    break
+                key, spec = leased
+                w.busy_key = key
+                w.task_q.put((key, spec))
+            sync_queue_stats()
+            if (
+                interrupt_after is not None
+                and stats["cells_done"] >= interrupt_after
+                and not queue.all_done()
+            ):
+                raise KeyboardInterrupt
+            if not fleet and service is None:
+                raise RuntimeError(
+                    "fabric coordinator has no workers left (respawn budget "
+                    f"of {max_respawns} exhausted) and no remote listener"
+                )
+            time.sleep(0.02)
+        sync_queue_stats()
+    except KeyboardInterrupt:
+        raise FabricInterrupted(stats["cells_done"], queue.depth()) from None
+    finally:
+        if service is not None:
+            service.stop()
+        _shutdown_fleet(fleet)
+
+
+def _shutdown_fleet(fleet: List[_LocalWorker]) -> None:
+    for w in fleet:
+        try:
+            w.task_q.put_nowait(None)
+        except (ValueError, OSError):
+            pass
+    deadline = time.monotonic() + 2.0
+    for w in fleet:
+        w.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    for w in fleet:
+        if w.proc.is_alive():
+            w.proc.terminate()
+    for w in fleet:
+        w.proc.join(timeout=2.0)
+        if w.proc.is_alive():  # pragma: no cover - stuck in kernel
+            w.proc.kill()
+            w.proc.join(timeout=1.0)
+        # cancel_join_thread: a dead worker must not block interpreter
+        # exit on its queue feeder threads
+        for q in (w.task_q, w.event_q):
+            try:
+                q.cancel_join_thread()
+                q.close()
+            except (ValueError, OSError):
+                pass

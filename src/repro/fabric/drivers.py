@@ -1,0 +1,330 @@
+"""Spec-driven work kinds: what a fabric cell actually computes.
+
+A fabric cell is described entirely by a JSON spec — no pickled
+closures, no shared memory — so the *same* cell can run in a local
+worker process or on another host entirely (a ``repro fabric-worker``
+attached over the :mod:`repro.net` transport), and the content hash of
+the spec is the cell's identity everywhere.  This module is the
+dispatch table from ``spec["kind"]`` to the function that rebuilds the
+work from the spec and returns a JSON-safe result.
+
+Registered kinds:
+
+- ``chaos-scenario`` — one fault scenario × every usable clock of a
+  chaos sweep (the PR-1/PR-3 harness); returns the scenario's cells,
+  its headerless trace fragment, and its metrics export.
+- ``conformance-chunk`` — a contiguous range of differential-fuzzer
+  trials (PR-5); returns the chunk's check counts and shrunk mismatch
+  records.
+- ``bench-module`` — one ``benchmarks/bench_e*.py`` driver executed via
+  pytest in a subprocess (the ``run_all.py`` fabric mode).
+- ``fabric-selftest`` — a tiny deterministic computation used by the
+  crash-resume test suite and the fabric-smoke CI job.
+
+Every executor is a pure function of its spec (given the repo's code),
+which is what makes reassignment, retry, and resume byte-safe.  When a
+code change alters what a kind computes, bump that kind's ``"v"`` so
+old store entries stop matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Callable, Dict, List, Mapping, Sequence
+
+from repro.bench import cell_seed
+
+WorkFn = Callable[[Mapping[str, Any]], Any]
+
+WORK_KINDS: Dict[str, WorkFn] = {}
+
+
+def work_kind(name: str) -> Callable[[WorkFn], WorkFn]:
+    """Register an executor for ``spec["kind"] == name``."""
+
+    def register(fn: WorkFn) -> WorkFn:
+        WORK_KINDS[name] = fn
+        return fn
+
+    return register
+
+
+def execute_cell(spec: Mapping[str, Any]) -> Any:
+    """Dispatch one cell spec to its registered work function."""
+    kind = spec.get("kind")
+    fn = WORK_KINDS.get(kind)
+    if fn is None:
+        raise ValueError(
+            f"unknown fabric work kind {kind!r} "
+            f"(known: {', '.join(sorted(WORK_KINDS))})"
+        )
+    return fn(spec)
+
+
+# ----------------------------------------------------------------------
+# chaos sweeps (scenario × clocks per cell)
+# ----------------------------------------------------------------------
+def chaos_cell_specs(
+    topology: str,
+    n: int,
+    events: int,
+    seed: int,
+    clocks: Sequence[str],
+    quick: bool = False,
+    reliable: bool = True,
+    retry_timeout: float = 4.0,
+    retry_max: int = 4,
+) -> List[Dict[str, Any]]:
+    """One spec per default chaos scenario, in sweep (input) order."""
+    from repro.faults.chaos import default_scenarios
+
+    return [
+        {
+            "kind": "chaos-scenario",
+            "v": 1,
+            "topology": topology,
+            "n": n,
+            "events": events,
+            "seed": seed,
+            "reliable": reliable,
+            "retry_timeout": retry_timeout,
+            "retry_max": retry_max,
+            "clocks": list(clocks),
+            "quick": bool(quick),
+            "scenario": scenario.name,
+        }
+        for scenario in default_scenarios(n, quick=quick)
+    ]
+
+
+@work_kind("chaos-scenario")
+def _run_chaos_scenario(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Rebuild one chaos scenario from its spec and run it.
+
+    Mirrors the payload :func:`repro.faults.chaos.run_chaos` ships to
+    ``parallel_map`` workers, reconstructed from names alone so remote
+    hosts need nothing but the repo checkout.
+    """
+    from repro.cli import NamedClockFactory, build_topology
+    from repro.faults.chaos import (
+        _scenario_cells,
+        _UniformWorkloadFactory,
+        default_scenarios,
+    )
+    from repro.sim.network import RetryPolicy
+
+    graph = build_topology(spec["topology"], spec["n"], spec["seed"])
+    scenarios = {
+        s.name: s
+        for s in default_scenarios(graph.n_vertices, quick=spec["quick"])
+    }
+    if spec["scenario"] not in scenarios:
+        raise ValueError(f"unknown chaos scenario {spec['scenario']!r}")
+    factories = {
+        name: NamedClockFactory(name, graph) for name in spec["clocks"]
+    }
+    usable = {
+        name: factory
+        for name, factory in factories.items()
+        if not factory().requires_fifo_app
+    }
+    retry = RetryPolicy(
+        timeout=spec["retry_timeout"], max_retries=spec["retry_max"]
+    )
+    cells, records, metrics = _scenario_cells(
+        (
+            graph,
+            scenarios[spec["scenario"]],
+            usable,
+            spec["seed"],
+            spec["reliable"],
+            retry,
+            _UniformWorkloadFactory(events_per_process=spec["events"]),
+        )
+    )
+    return {
+        "cells": [asdict(cell) for cell in cells],
+        "trace": records,
+        "metrics": metrics,
+    }
+
+
+def merge_chaos_results(results, skipped=()) -> Any:
+    """Fold chaos-scenario results (in input order) into a ChaosReport.
+
+    Equivalent to :func:`repro.faults.chaos.run_chaos` folding its
+    ``parallel_map`` batches: cells extend in scenario order and each
+    scenario's metrics export merges in the same order, so the report —
+    registry included — matches the serial sweep exactly.
+    """
+    from repro.faults.chaos import ChaosCell, ChaosReport
+
+    report = ChaosReport(skipped=sorted(skipped))
+    for result in results:
+        report.cells.extend(
+            ChaosCell(**cell) for cell in result["cells"]
+        )
+        report.metrics.merge(result["metrics"])
+    return report
+
+
+# ----------------------------------------------------------------------
+# conformance fuzz campaigns (trial ranges per cell)
+# ----------------------------------------------------------------------
+def conformance_chunk_specs(
+    trials: int,
+    seed: int,
+    topologies: Sequence[str],
+    max_steps: int,
+    backend: str,
+    shrink: bool = True,
+    chunk_size: int = 25,
+) -> List[Dict[str, Any]]:
+    """Shard ``trials`` into contiguous ``[lo, hi)`` chunks.
+
+    Per-trial RNGs derive from the absolute trial index
+    (:func:`repro.bench.cell_seed`), so the union of chunk results is
+    exactly the serial campaign regardless of chunking or placement.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    return [
+        {
+            "kind": "conformance-chunk",
+            "v": 1,
+            "seed": seed,
+            "topologies": list(topologies),
+            "max_steps": max_steps,
+            "backend": backend,
+            "shrink": bool(shrink),
+            "lo": lo,
+            "hi": min(lo + chunk_size, trials),
+        }
+        for lo in range(0, trials, chunk_size)
+    ]
+
+
+@work_kind("conformance-chunk")
+def _run_conformance_chunk(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    from repro.conformance.fuzzer import ConformanceReport, run_trials
+
+    report = ConformanceReport()
+    run_trials(
+        report,
+        spec["lo"],
+        spec["hi"],
+        seed=spec["seed"],
+        topologies=tuple(spec["topologies"]),
+        max_steps=spec["max_steps"],
+        shrink=spec["shrink"],
+        backend=spec["backend"],
+    )
+    return {
+        "trials": report.trials,
+        "events_checked": report.events_checked,
+        "checks": dict(sorted(report.checks.items())),
+        "mismatches": [mm.to_record() for mm in report.mismatches],
+    }
+
+
+def merge_conformance_results(results) -> Any:
+    """Fold chunk results (in input order) into one ConformanceReport."""
+    from repro.conformance.fuzzer import (
+        ConformanceReport,
+        mismatch_from_record,
+    )
+
+    report = ConformanceReport()
+    for chunk in results:
+        report.trials += chunk["trials"]
+        report.events_checked += chunk["events_checked"]
+        for invariant, count in chunk["checks"].items():
+            report.count(invariant, count)
+        for record in chunk["mismatches"]:
+            report.mismatches.append(mismatch_from_record(record))
+    return report
+
+
+# ----------------------------------------------------------------------
+# benchmark-suite modules (one pytest driver per cell)
+# ----------------------------------------------------------------------
+def bench_module_specs(modules: Sequence[str]) -> List[Dict[str, Any]]:
+    return [
+        {"kind": "bench-module", "v": 1, "module": name}
+        for name in modules
+    ]
+
+
+@work_kind("bench-module")
+def _run_bench_module(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one ``benchmarks/bench_e*.py`` driver under pytest.
+
+    Parallelism *within* the module still comes from ``REPRO_BENCH_JOBS``
+    (inherited environment); the fabric shards across modules.  A
+    non-zero pytest exit raises, so failed experiments are retried and —
+    crucially — never stored as completed, keeping resume honest.
+    """
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    name = pathlib.PurePosixPath(spec["module"]).name  # no path escapes
+    module = repo_root / "benchmarks" / name
+    if not module.exists():
+        raise FileNotFoundError(f"no benchmark driver {name!r}")
+    env = dict(os.environ)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", str(module),
+         "--benchmark-only", "-s", "-q"],
+        capture_output=True,
+        text=True,
+        cwd=str(repo_root),
+        env=env,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{name} failed (pytest rc {proc.returncode}):\n"
+            f"{proc.stdout[-4000:]}\n{proc.stderr[-2000:]}"
+        )
+    return {
+        "module": name,
+        "returncode": 0,
+        "tail": proc.stdout.strip().splitlines()[-12:],
+    }
+
+
+# ----------------------------------------------------------------------
+# self-test cells (CI smoke + crash-resume property suite)
+# ----------------------------------------------------------------------
+def selftest_specs(count: int, seed: int = 0,
+                   sleep: float = 0.0) -> List[Dict[str, Any]]:
+    specs: List[Dict[str, Any]] = []
+    for index in range(count):
+        spec: Dict[str, Any] = {
+            "kind": "fabric-selftest",
+            "v": 1,
+            "seed": seed,
+            "index": index,
+        }
+        if sleep:
+            spec["sleep"] = sleep
+        specs.append(spec)
+    return specs
+
+
+@work_kind("fabric-selftest")
+def _run_selftest(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    if spec.get("sleep"):
+        import time
+
+        time.sleep(float(spec["sleep"]))
+    value = cell_seed("fabric-selftest", spec["seed"], spec["index"])
+    return {"index": spec["index"], "value": value % 1_000_003}

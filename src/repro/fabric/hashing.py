@@ -1,0 +1,89 @@
+"""Content-addressed cell keys for the experiment fabric.
+
+A sweep cell is identified not by its position in a grid but by a
+content hash of everything that determines its result: the cell's
+configuration, its seed, and the code-relevant parameters (driver kind
+and format version).  Two consequences fall out of that choice:
+
+- **Placement independence.**  The same cell hashed on any host, by any
+  worker, in any order, yields the same key — so a result store filled
+  by a 2-worker run, a 16-worker run, or a serial run is byte-identical
+  (see :mod:`repro.fabric.store`).
+- **Zero-recompute resume.**  A killed or preempted run restarts by
+  hashing its cells again and skipping every key already present in the
+  store; nothing about the original run's placement needs to be
+  remembered.
+
+Keys hash the *canonical JSON* of the spec (sorted keys, compact
+separators), so semantically identical specs — regardless of dict
+insertion order — collide on purpose, and any semantic change (one more
+trial, a different seed, a bumped format version) moves the cell to a
+fresh key.  Drivers bump the ``"v"`` field of their spec when a code
+change alters what a cell computes; that is the "code-relevant params"
+leg of the hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Mapping
+
+#: schema tag written into every stored cell file
+FABRIC_SCHEMA = "repro.fabric/1"
+
+#: hex digest length of a cell key (96 bits — collision-safe for any
+#: plausible sweep size, short enough for file names)
+KEY_HEX_CHARS = 24
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON text: sorted keys, compact separators.
+
+    The canonical form is the hashing *and* storage format, so a cell
+    file's bytes are a pure function of its content.  Non-finite floats
+    are rejected: they would serialize to non-standard JSON tokens and
+    their semantics do not survive every parser.
+    """
+    _reject_non_finite(obj)
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def _reject_non_finite(obj: Any) -> None:
+    if isinstance(obj, float):
+        if math.isnan(obj) or math.isinf(obj):
+            raise ValueError(
+                f"non-finite float {obj!r} is not canonical-JSON-safe"
+            )
+    elif isinstance(obj, dict):
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise ValueError(
+                    f"spec keys must be strings, got {type(k).__name__}"
+                )
+            _reject_non_finite(v)
+    elif isinstance(obj, (list, tuple)):
+        for v in obj:
+            _reject_non_finite(v)
+    elif obj is not None and not isinstance(obj, (bool, int, str)):
+        raise ValueError(
+            f"unsupported spec component: {type(obj).__name__}"
+        )
+
+
+def cell_key(spec: Mapping[str, Any]) -> str:
+    """The content-hash key of one cell spec.
+
+    *spec* must be a JSON-safe mapping carrying at least a ``"kind"``
+    (which work function runs the cell) and conventionally a ``"v"``
+    format version; everything that influences the cell's result — seed,
+    topology, trial range, backend — belongs in it, and nothing else
+    (worker counts, placement, wall-clock) may appear.
+    """
+    if "kind" not in spec:
+        raise ValueError("cell spec needs a 'kind' field")
+    blob = (FABRIC_SCHEMA + "\x1f" + canonical_json(dict(spec))).encode()
+    return hashlib.sha256(blob).hexdigest()[:KEY_HEX_CHARS]

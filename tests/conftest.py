@@ -22,7 +22,14 @@ try:
         "ci", deadline=None, max_examples=25, derandomize=True
     )
     settings.register_profile("dev", deadline=None)
-    settings.load_profile("ci" if os.environ.get("CI") else "dev")
+    # REPRO_HYPOTHESIS_PROFILE pins the profile explicitly (the CI
+    # composite action sets it to "ci" in one place for every job);
+    # otherwise fall back to the CI env heuristic
+    _profile = os.environ.get("REPRO_HYPOTHESIS_PROFILE")
+    if _profile:
+        settings.load_profile(_profile)
+    else:
+        settings.load_profile("ci" if os.environ.get("CI") else "dev")
 except ImportError:  # pragma: no cover - hypothesis is a dev extra
     pass
 

@@ -1,0 +1,152 @@
+"""run_fabric: placement equivalence, fault knobs, interruption, retries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabric import (
+    CellFailed,
+    FabricInterrupted,
+    ResultStore,
+    cell_key,
+    run_fabric,
+)
+from repro.fabric.coordinator import HANG_ENV, KILL_ENV
+from repro.fabric.drivers import selftest_specs
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+
+def _reference_digest(tmp_path, specs):
+    store = ResultStore(tmp_path / "reference")
+    run_fabric(specs, store)
+    return store.digest()
+
+
+def test_serial_run_completes_and_orders_keys(tmp_path):
+    specs = selftest_specs(5)
+    store = ResultStore(tmp_path / "s")
+    report = run_fabric(specs, store)
+    assert report.keys == [cell_key(s) for s in specs]
+    assert [r["index"] for r in report.iter_results()] == list(range(5))
+    assert report.stats["cells_done"] == 5
+
+
+def test_parallel_matches_serial_digest(tmp_path):
+    specs = selftest_specs(9)
+    expected = _reference_digest(tmp_path, specs)
+    store = ResultStore(tmp_path / "p")
+    report = run_fabric(specs, store, workers=3, lease_timeout=30.0)
+    assert store.digest() == expected
+    assert report.stats["cells_done"] == 9
+
+
+def test_duplicate_specs_rejected(tmp_path):
+    specs = selftest_specs(2) + selftest_specs(1)
+    with pytest.raises(ValueError, match="duplicate cell spec"):
+        run_fabric(specs, ResultStore(tmp_path / "d"))
+
+
+def test_resume_false_refuses_populated_store(tmp_path):
+    specs = selftest_specs(3)
+    store = ResultStore(tmp_path / "s")
+    run_fabric(specs, store)
+    with pytest.raises(ValueError, match="resume=True"):
+        run_fabric(specs, store)
+
+
+def test_resume_skips_completed_cells(tmp_path):
+    specs = selftest_specs(6)
+    store = ResultStore(tmp_path / "s")
+    with pytest.raises(FabricInterrupted) as exc_info:
+        run_fabric(specs, store, interrupt_after=2)
+    assert exc_info.value.done == 2
+    assert len(store) == 2
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        report = run_fabric(specs, store, resume=True)
+    assert report.stats["cells_resumed"] == 2
+    assert report.stats["cells_done"] == 4
+    assert store.digest() == _reference_digest(tmp_path, specs)
+    export = registry.as_dict()
+    assert export["counters"]["fabric.cells_resumed"] == 2
+    assert export["counters"]["fabric.cells_done"] == 4
+
+
+def test_failing_cell_exhausts_retry_budget(tmp_path):
+    calls = []
+
+    def flaky(spec):
+        calls.append(spec["index"])
+        raise RuntimeError("always broken")
+
+    specs = selftest_specs(2)
+    with pytest.raises(CellFailed) as exc_info:
+        run_fabric(
+            specs, ResultStore(tmp_path / "f"),
+            executor=flaky, max_retries=2,
+        )
+    assert calls == [0, 0, 0]  # initial attempt + 2 retries, then stop
+    assert len(exc_info.value.errors) == 3
+
+
+def test_transient_failure_is_retried_to_success(tmp_path):
+    attempts = {"n": 0}
+
+    def flaky_once(spec):
+        attempts["n"] += 1
+        if attempts["n"] == 1:
+            raise RuntimeError("transient")
+        return {"index": spec["index"]}
+
+    specs = selftest_specs(1)
+    store = ResultStore(tmp_path / "t")
+    report = run_fabric(specs, store, executor=flaky_once, max_retries=2)
+    assert report.stats["cells_retried"] == 1
+    assert store.get(report.keys[0]) == {"index": 0}
+
+
+def test_sigkilled_worker_is_reaped_and_cells_recovered(
+    tmp_path, monkeypatch
+):
+    specs = selftest_specs(8, sleep=0.02)
+    expected = _reference_digest(tmp_path, specs)
+    monkeypatch.setenv(KILL_ENV, "0:1")  # worker 0 dies after one cell
+    store = ResultStore(tmp_path / "k")
+    report = run_fabric(specs, store, workers=2, lease_timeout=5.0)
+    assert store.digest() == expected
+    assert report.stats["workers_spawned"] >= 3  # the respawn happened
+
+
+def test_hung_worker_lease_expires_and_reassigns(tmp_path, monkeypatch):
+    specs = selftest_specs(6)
+    expected = _reference_digest(tmp_path, specs)
+    monkeypatch.setenv(HANG_ENV, "0")  # worker 0 hangs on its first cell
+    store = ResultStore(tmp_path / "h")
+    report = run_fabric(specs, store, workers=2, lease_timeout=1.0)
+    assert store.digest() == expected
+    assert report.stats["cells_reassigned"] >= 1
+
+
+def test_interrupt_in_coordinated_mode_is_resumable(tmp_path):
+    specs = selftest_specs(8, sleep=0.01)
+    with pytest.raises(FabricInterrupted):
+        run_fabric(
+            specs, ResultStore(tmp_path / "i"), workers=2,
+            interrupt_after=2,
+        )
+    store = ResultStore(tmp_path / "i")
+    run_fabric(specs, store, workers=2, resume=True)
+    assert store.digest() == _reference_digest(tmp_path, specs)
+
+
+def test_workers_zero_without_listener_rejected(tmp_path):
+    with pytest.raises(ValueError, match="listen"):
+        run_fabric(selftest_specs(1), ResultStore(tmp_path / "z"), workers=0)
+
+
+def test_mixing_sweeps_in_one_store_is_fine(tmp_path):
+    store = ResultStore(tmp_path / "mixed")
+    run_fabric(selftest_specs(2, seed=0), store)
+    # a different sweep (different seed) shares the directory untroubled
+    run_fabric(selftest_specs(2, seed=1), store)
+    assert len(store) == 4

@@ -1,0 +1,128 @@
+"""ResultStore: atomicity, idempotence, digests, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fabric.hashing import cell_key
+from repro.fabric.store import ResultStore, StoreError
+
+
+def _spec(i: int) -> dict:
+    return {"kind": "t", "index": i}
+
+
+def test_put_get_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    spec = _spec(0)
+    key = cell_key(spec)
+    store.put(key, spec, {"value": 42})
+    assert store.has(key)
+    assert key in store
+    assert store.get(key) == {"value": 42}
+    record = store.load(key)
+    assert record["spec"] == spec
+    assert record["key"] == key
+
+
+def test_put_is_idempotent_and_byte_stable(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    key = cell_key(_spec(1))
+    p1 = store.put(key, _spec(1), [1, 2, 3])
+    first = p1.read_bytes()
+    p2 = store.put(key, _spec(1), [1, 2, 3])
+    assert p1 == p2
+    assert p2.read_bytes() == first  # same cell, same bytes, any writer
+
+
+def test_keys_sorted_and_len(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    keys = []
+    for i in range(5):
+        k = cell_key(_spec(i))
+        store.put(k, _spec(i), i)
+        keys.append(k)
+    assert store.keys() == sorted(keys)
+    assert len(store) == 5
+
+
+def test_iter_results_streams_in_given_order(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    keys = []
+    for i in range(4):
+        k = cell_key(_spec(i))
+        store.put(k, _spec(i), i * 10)
+        keys.append(k)
+    assert list(store.iter_results(iter(keys))) == [0, 10, 20, 30]
+    assert list(store.iter_results(iter(reversed(keys)))) == [30, 20, 10, 0]
+
+
+def test_digest_order_independent_and_content_sensitive(tmp_path):
+    a = ResultStore(tmp_path / "a")
+    b = ResultStore(tmp_path / "b")
+    for i in range(4):
+        a.put(cell_key(_spec(i)), _spec(i), i)
+    for i in reversed(range(4)):
+        b.put(cell_key(_spec(i)), _spec(i), i)
+    assert a.digest() == b.digest()  # insertion order is irrelevant
+    b.put(cell_key(_spec(3)), _spec(3), 999)
+    assert a.digest() != b.digest()  # content is not
+
+
+def test_digest_keys_subset(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    k0, k1 = cell_key(_spec(0)), cell_key(_spec(1))
+    store.put(k0, _spec(0), 0)
+    d_before = store.digest([k0])
+    store.put(k1, _spec(1), 1)
+    assert store.digest([k0]) == d_before  # unrelated cells don't bleed in
+    assert store.digest() != d_before
+
+
+def test_missing_cell_raises(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    with pytest.raises(StoreError, match="not in store"):
+        store.get(cell_key(_spec(9)))
+
+
+def test_corrupt_cell_raises(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    key = cell_key(_spec(0))
+    store.put(key, _spec(0), 1)
+    (tmp_path / "s" / "cells" / f"{key}.json").write_text("{not json")
+    with pytest.raises(StoreError, match="corrupt"):
+        store.get(key)
+
+
+def test_wrong_key_in_body_raises(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    key = cell_key(_spec(0))
+    other = cell_key(_spec(1))
+    path = store.put(key, _spec(0), 1)
+    body = json.loads(path.read_text())
+    (tmp_path / "s" / "cells" / f"{other}.json").write_text(
+        json.dumps(body)
+    )
+    with pytest.raises(StoreError, match="bad schema/key"):
+        store.load(other)
+
+
+def test_malformed_key_rejected(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    with pytest.raises(StoreError, match="malformed"):
+        store.has("../../etc/passwd")
+    with pytest.raises(StoreError, match="malformed"):
+        store.has("")
+
+
+def test_no_temp_file_debris_after_puts(tmp_path):
+    store = ResultStore(tmp_path / "s")
+    for i in range(10):
+        store.put(cell_key(_spec(i)), _spec(i), i)
+    leftovers = [
+        p for p in (tmp_path / "s" / "cells").iterdir()
+        if p.suffix != ".json"
+    ]
+    assert leftovers == []

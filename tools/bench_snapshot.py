@@ -500,6 +500,48 @@ def check_regression(
     return 0
 
 
+def _make_section_runner(
+    fabric: Optional[pathlib.Path], quick: bool, resume: bool
+) -> Callable[[str, Callable[[], Dict[str, object]]], Dict[str, object]]:
+    """Section executor: direct, or cached through a fabric result store.
+
+    With ``--fabric`` every timed section becomes one ``bench-section``
+    cell keyed by its content hash, written as soon as it finishes — an
+    interrupted snapshot run restarted with ``--resume`` re-times only
+    the sections that never completed.  Timings are wall-clock and thus
+    not byte-reproducible; the store caches the *first* measurement of
+    each section rather than promising digest equality.
+    """
+    if fabric is None:
+        return lambda name, fn: fn()
+
+    from repro.fabric import ResultStore, cell_key
+
+    store = ResultStore(fabric)
+
+    def run(name: str, fn: Callable[[], Dict[str, object]]) -> Dict[str, object]:
+        spec = {
+            "kind": "bench-section",
+            "v": 1,
+            "section": name,
+            "quick": bool(quick),
+        }
+        key = cell_key(spec)
+        if store.has(key):
+            if not resume:
+                raise SystemExit(
+                    f"bench_snapshot: store {fabric} already holds section "
+                    f"{name!r}; pass --resume to reuse it"
+                )
+            print(f"  [{name}] resumed from fabric store")
+            return store.get(key)
+        result = fn()
+        store.put(key, spec, result)
+        return result
+
+    return run
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -529,7 +571,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="fail unless the numpy backend beats the pure "
                              "one by this factor on every measured path "
                              "(no-op when numpy is unavailable)")
+    parser.add_argument("--fabric", type=pathlib.Path, default=None,
+                        metavar="DIR",
+                        help="cache each timed section in a fabric result "
+                             "store so an interrupted snapshot run can be "
+                             "resumed without re-timing finished sections")
+    parser.add_argument("--resume", action="store_true",
+                        help="reuse sections already present in the "
+                             "--fabric store")
     args = parser.parse_args(argv)
+
+    if args.resume and args.fabric is None:
+        parser.error("--resume requires --fabric DIR")
+    run_section = _make_section_runner(args.fabric, args.quick, args.resume)
 
     print("kernel microbenchmark "
           f"(star n={KERNEL_N}, {KERNEL_STEPS} events)...")
@@ -537,15 +591,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "schema": "bench_pr2/v1",
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
-        "kernel": bench_kernel(),
+        "kernel": run_section("kernel", bench_kernel),
     }
     print("validate matrix-vs-pairwise "
           f"({400 if args.quick else 2000}-event star)...")
-    snapshot["validate"] = bench_validate(args.quick)
+    snapshot["validate"] = run_section(
+        "validate", lambda: bench_validate(args.quick)
+    )
     if not args.quick:
         print("end-to-end simulation...")
-        snapshot["sim"] = bench_sim()
-    snapshot["allocation"] = bench_allocation()
+        snapshot["sim"] = run_section("sim", bench_sim)
+    snapshot["allocation"] = run_section("allocation", bench_allocation)
 
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"snapshot written to {args.output}")
@@ -555,14 +611,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print("incremental oracle vs rebuild-per-query-batch "
           f"({400 if args.quick else 2400}-event stream)...")
-    oracle_inc = bench_oracle_incremental(args.quick)
+    oracle_inc = run_section(
+        "oracle_incremental", lambda: bench_oracle_incremental(args.quick)
+    )
     print("metrics hot path (resolve-per-call vs cached handle)...")
     pr4: Dict[str, object] = {
         "schema": "bench_pr4/v1",
         "mode": "quick" if args.quick else "full",
         "python": platform.python_version(),
         "oracle_incremental": oracle_inc,
-        "metrics_overhead": bench_metrics_overhead(),
+        "metrics_overhead": run_section(
+            "metrics_overhead", bench_metrics_overhead
+        ),
     }
     args.pr4_out.write_text(json.dumps(pr4, indent=2) + "\n")
     print(f"snapshot written to {args.pr4_out}")
@@ -573,7 +633,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print("kernel backends pure vs numpy "
           f"(clique n=64, {1024 if args.quick else 4096} steps)...")
-    backends = bench_kernel_backends(args.quick)
+    backends = run_section(
+        "kernel_backends", lambda: bench_kernel_backends(args.quick)
+    )
     pr7: Dict[str, object] = {
         "schema": "bench_pr7/v1",
         "mode": "quick" if args.quick else "full",
