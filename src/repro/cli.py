@@ -189,6 +189,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             fifo_app_channels=args.fifo,
             metrics=registry,
             online_oracle=args.online_oracle,
+            event_store=args.store,
         )
         result = sim.run(
             UniformWorkload(
@@ -1261,6 +1262,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="stream a causality oracle during the run (O(Δ) "
                    "appends) and freeze it for validation instead of "
                    "rebuilding happened-before afterwards")
+    p.add_argument("--store", default=None,
+                   choices=["auto", "object", "columnar"],
+                   help="event-storage flavor: per-event objects or the "
+                   "structure-of-arrays columnar store (default: the "
+                   "REPRO_EVENT_STORE preference, else object)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("validate", help="validate clocks on a saved trace")

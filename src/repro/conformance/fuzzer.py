@@ -27,6 +27,14 @@ causality-oracle flavors, then cross-checks four invariants:
    incremental oracle frozen onto the numpy backend mid-hand-off.  Skipped
    silently when numpy is unavailable (the pure kernel is then the only
    one to check) or when ``backend="pure"`` pins the whole run.
+6. **store-differential** — the columnar event store
+   (:mod:`repro.core.colstore`) replaying the same ops must be
+   indistinguishable from the object model: identical events, messages,
+   and delivery order; byte-identical causal-past rows and validation
+   reports through an execution built on the columnar store; and the
+   batched append path of :class:`IncrementalHBOracle` (pure engine
+   always, numpy engine when available) must answer and ``freeze()``
+   identically to the per-op path with queries interleaved mid-stream.
 
 Failures come back as :class:`Mismatch` records carrying the generating op
 list, ready for the shrinker and the JSONL report.  :func:`fuzz` drives
@@ -72,6 +80,7 @@ INVARIANTS = (
     "finalization-monotonic",
     "one-sided",
     "backend-differential",
+    "store-differential",
 )
 
 #: check_execution backend modes: "auto"/"old-vs-new" run the
@@ -466,6 +475,96 @@ def _check_backends(graph, ops, execution, fifo, context, report):
 
 
 # ----------------------------------------------------------------------
+# invariant 6: columnar store + batched appends vs the object model
+# ----------------------------------------------------------------------
+def _check_stores(graph, ops, execution, oracle, fifo, context, report):
+    from repro.core.backend import numpy_available
+    from repro.core.colstore import ColumnarExecutionBuilder
+
+    out: List[Mismatch] = []
+    report.count("store-differential")
+
+    def bad(detail: str) -> None:
+        out.append(_mk(
+            "store-differential", "store", detail,
+            graph, ops, fifo, context,
+        ))
+
+    # same ops through the columnar builder: the execution view must be
+    # indistinguishable from the object-model one
+    cex = execution_from_ops(
+        graph, ops,
+        builder=ColumnarExecutionBuilder(graph.n_vertices, graph),
+    )
+    if list(cex.delivery_order()) != list(execution.delivery_order()):
+        bad("columnar delivery_order differs from object builder")
+        return out  # the executions disagree; everything below cascades
+    if tuple(cex.messages) != tuple(execution.messages):
+        bad("columnar messages differ from object builder")
+    if cex.event_counts() != execution.event_counts():
+        bad("columnar event_counts differ from object builder")
+    if cex.receive_pairs() != execution.receive_pairs():
+        bad("columnar receive_pairs differ from object builder")
+    col_oracle = HappenedBeforeOracle(cex)
+    if col_oracle.past_masks() != oracle.past_masks():
+        bad("causal-past rows differ when built over the columnar store")
+    asg_obj = replay_one(execution, VectorClock(graph.n_vertices))
+    asg_col = replay_one(cex, VectorClock(graph.n_vertices))
+    if asg_obj.validate(oracle) != asg_col.validate(col_oracle):
+        bad("validate() report differs between object and columnar store")
+
+    # batched appends vs per-op appends, queries interleaved mid-stream
+    engines = ["pure"]
+    if numpy_available():
+        engines.append("numpy")
+    events = list(execution.delivery_order())
+    for engine in engines:
+        perop = IncrementalHBOracle(graph.n_vertices)
+        batched = IncrementalHBOracle(
+            graph.n_vertices, batch=True, backend=engine
+        )
+        qrng = random.Random((len(ops) + 3) * 2246822519 % (2**31))
+        seen: List = []
+        for ev in events:
+            if ev.is_receive:
+                send = execution.send_of(ev).eid
+                perop.append_receive(ev.eid, send)
+                batched.append_receive(ev.eid, send)
+            else:
+                perop.append_event(ev)
+                batched.append_event(ev)
+            seen.append(ev.eid)
+            if len(seen) >= 2 and qrng.random() < 0.3:
+                a, b = qrng.sample(seen, 2)
+                if batched.happened_before(a, b) != perop.happened_before(
+                    a, b
+                ):
+                    bad(
+                        f"[{engine}] batched happened_before({a}, {b}) "
+                        f"diverges from per-op mid-stream"
+                    )
+                if batched.vector_clock(a) != perop.vector_clock(a):
+                    bad(
+                        f"[{engine}] batched vector_clock({a}) diverges "
+                        f"from per-op mid-stream"
+                    )
+        if batched.relation_counts() != perop.relation_counts():
+            bad(f"[{engine}] batched relation_counts diverge after ingest")
+        for eid in seen:
+            if batched.causal_past(eid) != perop.causal_past(eid):
+                bad(f"[{engine}] batched causal_past({eid}) diverges")
+                break
+        fb = batched.freeze(execution)
+        if fb.past_masks() != oracle.past_masks():
+            bad(f"[{engine}] batched freeze() rows differ from batch oracle")
+        for eid in seen:
+            if fb.vector_clock(eid) != oracle.vector_clock(eid):
+                bad(f"[{engine}] batched freeze() vector_clock({eid}) differs")
+                break
+    return out
+
+
+# ----------------------------------------------------------------------
 def check_execution(
     graph: CommunicationGraph,
     ops: Sequence[Op],
@@ -509,6 +608,9 @@ def check_execution(
         )
         mismatches += _check_finalization(
             graph, ops, specs, center, fifo, context, report
+        )
+        mismatches += _check_stores(
+            graph, ops, execution, oracle, fifo, context, report
         )
     if backend != "pure":
         mismatches += _check_backends(

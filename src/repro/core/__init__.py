@@ -8,6 +8,11 @@ from repro.core.events import (
     MessageId,
     ProcessId,
 )
+from repro.core.colstore import (
+    ColumnarExecution,
+    ColumnarExecutionBuilder,
+    EventStore,
+)
 from repro.core.execution import Execution, ExecutionBuilder, ExecutionError
 from repro.core.happened_before import HappenedBeforeOracle, downward_closure
 from repro.core.incremental import (
@@ -43,6 +48,9 @@ __all__ = [
     "Message",
     "MessageId",
     "ProcessId",
+    "ColumnarExecution",
+    "ColumnarExecutionBuilder",
+    "EventStore",
     "Execution",
     "ExecutionBuilder",
     "ExecutionError",

@@ -23,6 +23,13 @@ Selection is a three-level override chain, strongest first:
 numpy is an optional dependency (``pip install "repro[fast]"``);
 every consumer goes through :func:`numpy_available` so its absence never
 raises, it just pins the resolution to ``pure``.
+
+The module also hosts the analogous *event-store* seam: ``object``
+(per-event heap objects) vs ``columnar``
+(:mod:`repro.core.colstore` structure-of-arrays), selected through
+:func:`resolve_store` / :func:`set_store` / ``REPRO_EVENT_STORE``.
+The columnar store needs nothing beyond the standard library, so unlike
+the kernel there is no availability probe — only preference.
 """
 
 from __future__ import annotations
@@ -41,8 +48,21 @@ ENV_VAR = "REPRO_KERNEL_BACKEND"
 
 BACKENDS = ("auto", "pure", "numpy")
 
+#: environment variable selecting the event-store implementation
+STORE_ENV_VAR = "REPRO_EVENT_STORE"
+
+#: event-store flavors: ``object`` is the per-event heap-object model
+#: (:class:`~repro.core.execution.ExecutionBuilder`), ``columnar`` the
+#: structure-of-arrays :class:`~repro.core.colstore.EventStore`.  ``auto``
+#: currently resolves to ``object`` — the columnar store is opt-in (CI
+#: runs a whole tier-1 leg with it forced on).
+STORES = ("auto", "object", "columnar")
+
 #: process-wide override installed by :func:`set_backend` (None = unset)
 _forced: Optional[str] = None
+
+#: process-wide store override installed by :func:`set_store` (None = unset)
+_forced_store: Optional[str] = None
 
 #: memoized numpy availability probe (None = not probed yet)
 _numpy_ok: Optional[bool] = None
@@ -120,3 +140,60 @@ def resolve_backend(n_events: int, override: Optional[str] = None) -> str:
             "installed (pip install numpy, or the [fast] extra)"
         )
     return choice
+
+
+# ----------------------------------------------------------------------
+# event-store selection (the REPRO_EVENT_STORE seam)
+# ----------------------------------------------------------------------
+def _validate_store(name: str) -> str:
+    if name not in STORES:
+        raise ValueError(
+            f"unknown event store {name!r}; expected one of {STORES}"
+        )
+    return name
+
+
+def store_preference() -> str:
+    """The process-wide store preference: forced > ``$REPRO_EVENT_STORE`` > auto."""
+    if _forced_store is not None:
+        return _forced_store
+    env = os.environ.get(STORE_ENV_VAR)
+    if env:
+        return _validate_store(env)
+    return "auto"
+
+
+def set_store(name: Optional[str]) -> None:
+    """Install (or with ``None`` clear) the process-wide store preference."""
+    global _forced_store
+    _forced_store = _validate_store(name) if name is not None else None
+
+
+@contextmanager
+def use_store(name: str) -> Iterator[None]:
+    """Scoped :func:`set_store`: restores the previous preference on exit."""
+    global _forced_store
+    prev = _forced_store
+    _forced_store = _validate_store(name)
+    try:
+        yield
+    finally:
+        _forced_store = prev
+
+
+def resolve_store(override: Optional[str] = None) -> str:
+    """Decide ``"object"`` or ``"columnar"`` for an execution builder.
+
+    *override* is the construction-site argument (e.g.
+    ``Simulation(event_store=...)``) and wins outright; otherwise the
+    process preference applies, with ``auto`` resolving to the object
+    store — columnar is opt-in, never silently swapped in.  Unlike the
+    kernel seam there is no availability question: the columnar store is
+    pure stdlib (``array``), so every resolution is always honourable.
+    """
+    choice = (
+        _validate_store(override)
+        if override is not None
+        else store_preference()
+    )
+    return "object" if choice == "auto" else choice

@@ -94,9 +94,17 @@ def bulk_past_matrix(execution) -> np.ndarray:
     cannot produce).
     """
     nproc = execution.n_processes
-    counts = np.array(
-        [len(execution.events_at(p)) for p in range(nproc)], dtype=np.int64
-    )
+    # event_counts/receive_pairs avoid touching event or message objects —
+    # on the columnar store they read straight from the id columns
+    # (getattr fallback keeps duck-typed execution stand-ins working)
+    counts_fn = getattr(execution, "event_counts", None)
+    if counts_fn is not None:
+        counts = np.asarray(counts_fn(), dtype=np.int64)
+    else:
+        counts = np.array(
+            [len(execution.events_at(p)) for p in range(nproc)],
+            dtype=np.int64,
+        )
     m = int(counts.sum())
     W = max(1, (m + 63) >> 6)
     bases = np.zeros(nproc, dtype=np.int64)
@@ -105,11 +113,15 @@ def bulk_past_matrix(execution) -> np.ndarray:
     if m == 0:
         return np.zeros((0, W), dtype=np.uint64)
 
-    recvs = [
-        (msg.recv_event, msg.send_event)
-        for msg in execution.messages
-        if msg.recv_event is not None
-    ]
+    pairs_fn = getattr(execution, "receive_pairs", None)
+    if pairs_fn is not None:
+        recvs = pairs_fn()
+    else:
+        recvs = [
+            (msg.recv_event, msg.send_event)
+            for msg in execution.messages
+            if msg.recv_event is not None
+        ]
     n_recv = len(recvs)
     # anchor rows, 1-based; row 0 stays zero (= "no receive before me")
     anchors = np.zeros((n_recv + 1, W), dtype=np.uint64)

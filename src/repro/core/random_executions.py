@@ -164,15 +164,20 @@ def normalize_ops(ops: Sequence[Op]) -> List[Op]:
 
 
 def execution_from_ops(
-    graph: CommunicationGraph, ops: Sequence[Op]
+    graph: CommunicationGraph, ops: Sequence[Op], builder=None
 ) -> Execution:
     """Build a validated :class:`Execution` from an op list.
 
     Raises :class:`~repro.core.execution.ExecutionError` (or ``ValueError``
     for malformed ops) when the list is not a valid execution — run
-    :func:`normalize_ops` first after editing an op list.
+    :func:`normalize_ops` first after editing an op list.  *builder*
+    substitutes a drop-in replacement for the default
+    :class:`~repro.core.execution.ExecutionBuilder` (the conformance
+    fuzzer's store differential replays the same ops through the columnar
+    builder this way).
     """
-    builder = ExecutionBuilder(graph.n_vertices, graph=graph)
+    if builder is None:
+        builder = ExecutionBuilder(graph.n_vertices, graph=graph)
     msg_ids: dict = {}  # tag -> builder MessageId
     for op in ops:
         kind = op[0]

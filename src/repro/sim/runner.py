@@ -213,7 +213,20 @@ class Simulation:
         run (O(Δ) per event).  Online consumers — predicate and
         concurrent-update detectors — can query it mid-run through
         workload hooks, and ``SimulationResult.hb_oracle()`` freezes it
-        into the batch oracle without the post-hoc O(|E|²) rebuild.
+        into the batch oracle without the post-hoc O(|E|²) rebuild.  The
+        oracle runs in batched-append mode: appends land in a buffer and
+        rows are constructed chunk-at-a-time on the first query, so runs
+        that query rarely pay far less than one big-int merge per event.
+    event_store:
+        Event-storage flavor: ``"object"`` (per-event heap objects, the
+        default), ``"columnar"`` (structure-of-arrays
+        :class:`~repro.core.colstore.EventStore` — the runner writes
+        events straight into parallel columns, including occurrence
+        times, instead of keeping per-event dicts), or ``None`` to follow
+        the process-wide preference (:func:`repro.core.backend
+        .resolve_store`, i.e. the ``REPRO_EVENT_STORE`` variable).
+        Results are identical either way — ``SimulationResult.execution``
+        is a lazy object view in columnar mode.
     """
 
     def __init__(
@@ -231,6 +244,7 @@ class Simulation:
         control_retry: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
         online_oracle: bool = False,
+        event_store: Optional[str] = None,
     ) -> None:
         self._graph = graph
         self._seed = seed
@@ -259,6 +273,9 @@ class Simulation:
         self._control_retry = control_retry
         self._metrics = metrics
         self._online_oracle = online_oracle
+        from repro.core.backend import resolve_store
+
+        self._event_store = resolve_store(event_store)
         self._check_fifo_compatibility()
         self._ran = False
 
@@ -332,10 +349,9 @@ class Simulation:
             self._suppressed_events += 1
             return None
         ev = self._builder.local(proc)
-        self._event_times[ev.eid] = self.now
-        self._event_seq[ev.eid] = len(self._event_seq)
-        if self._oracle is not None:
-            self._oracle.append_local(ev.eid)
+        self._note_event(ev.eid)
+        if self._oracle_feed is not None:
+            self._oracle_feed.append_local(ev.eid)
         for i, algo in enumerate(self._algos):
             algo.on_local(ev)
             self._drain(i)
@@ -351,10 +367,9 @@ class Simulation:
             return None
         msg_id = self._builder.send(src, dst)
         ev = self._builder.last_event(src)
-        self._event_times[ev.eid] = self.now
-        self._event_seq[ev.eid] = len(self._event_seq)
-        if self._oracle is not None:
-            self._oracle.append_send(ev.eid)
+        self._note_event(ev.eid)
+        if self._oracle_feed is not None:
+            self._oracle_feed.append_send(ev.eid)
         # Decide the message's fate *before* touching pending piggybacked
         # controls: controls whose carrier is dropped must stay queued for
         # the next carrier, not vanish silently.
@@ -437,10 +452,9 @@ class Simulation:
     ) -> None:
         msg = self._builder.message(msg_id)
         recv = self._builder.receive(msg.dst, msg_id)
-        self._event_times[recv.eid] = self.now
-        self._event_seq[recv.eid] = len(self._event_seq)
-        if self._oracle is not None:
-            self._oracle.append_receive(recv.eid, msg.send_event)
+        self._note_event(recv.eid)
+        if self._oracle_feed is not None:
+            self._oracle_feed.append_receive(recv.eid, msg.send_event)
         for i, algo in enumerate(self._algos):
             payload = self._payloads[i].pop(msg_id)
             controls = algo.on_receive(recv, payload)
@@ -538,20 +552,42 @@ class Simulation:
                 delay_model=self._control_delay_model,
             )
 
+    def _note_event_obj(self, eid: EventId) -> None:
+        """Record occurrence time + arrival rank of a new event (object mode)."""
+        self._event_times[eid] = self.now
+        self._event_seq[eid] = self._n_seen
+        self._n_seen += 1
+
+    def _note_event_col(self, eid: EventId) -> None:
+        """Columnar mode: the store row *is* the arrival rank; the time goes
+        into the vtime column — no per-event dict entries at all."""
+        self._store.set_last_vtime(self.now)
+        self._n_seen += 1
+
     def _drain(self, algo_idx: int) -> None:
         newly = self._algos[algo_idx].drain_newly_finalized()
         if not newly:
             return
         delay_events = self._h_delay_events[algo_idx]
         delay_vtime = self._h_delay_vtime[algo_idx]
-        n_seen = len(self._event_seq)
+        final_times = self._finalization_times[algo_idx]
+        n_seen = self._n_seen
+        now = self.now
+        store = self._store
+        if store is not None:
+            for eid in newly:
+                final_times[eid] = now
+                row = store.row_of(eid.proc, eid.index)
+                delay_events.observe(n_seen - 1 - row)
+                delay_vtime.observe(now - store.vtime_at(row))
+            return
         for eid in newly:
-            self._finalization_times[algo_idx][eid] = self.now
+            final_times[eid] = now
             # time-to-non-⊥ measured in events: how many events the run
             # performed while this event's timestamp was still provisional
             # (0 = finalized at its own occurrence, the online case)
             delay_events.observe(n_seen - 1 - self._event_seq[eid])
-            delay_vtime.observe(self.now - self._event_times[eid])
+            delay_vtime.observe(now - self._event_times[eid])
 
     # ------------------------------------------------------------------
     def run(
@@ -573,7 +609,20 @@ class Simulation:
         self._rng = random.Random(self._seed)
         self._scheduler = EventScheduler()
         self._network = Network(self._scheduler, self._delay_model, self._rng)
-        self._builder = ExecutionBuilder(self._graph.n_vertices, graph=self._graph)
+        if self._event_store == "columnar":
+            from repro.core.colstore import ColumnarExecutionBuilder
+
+            self._builder = ColumnarExecutionBuilder(
+                self._graph.n_vertices, graph=self._graph, track_vtime=True
+            )
+            self._store = self._builder.store
+            self._note_event = self._note_event_col
+        else:
+            self._builder = ExecutionBuilder(
+                self._graph.n_vertices, graph=self._graph
+            )
+            self._store = None
+            self._note_event = self._note_event_obj
         self._algos: List[ClockAlgorithm] = list(self._clock_map.values())
         self._names: List[str] = list(self._clock_map.keys())
         self._payloads: List[Dict[MessageId, Any]] = [
@@ -587,12 +636,23 @@ class Simulation:
         ]
         self._event_times: Dict[EventId, float] = {}
         self._event_seq: Dict[EventId, int] = {}
+        self._n_seen = 0
         self._reg = self._metrics if self._metrics is not None else MetricsRegistry()
         self._oracle = (
-            IncrementalHBOracle(self._graph.n_vertices, registry=self._reg)
+            IncrementalHBOracle(
+                self._graph.n_vertices, registry=self._reg, batch=True
+            )
             if self._online_oracle
             else None
         )
+        # with the columnar store the oracle binds to it and drains whole
+        # row ranges at flush time (vectorized sync_store) — the hot loop
+        # skips per-event append calls entirely; the object builder keeps
+        # the per-event feed
+        self._oracle_feed = self._oracle
+        if self._oracle is not None and self._store is not None:
+            self._oracle.bind_store(self._store)
+            self._oracle_feed = None
         # Per-event instrumentation handles, resolved once: the observe
         # paths below run for every event × algorithm, and re-resolving an
         # instrument by name (label formatting + dict lookup) per call is
@@ -651,6 +711,10 @@ class Simulation:
         workload.setup(self)
         self._scheduler.run(max_time=max_time, max_steps=max_steps)
         duration = self._scheduler.now
+        if self._oracle is not None:
+            # drain any buffered batched appends so the oracle.* metrics
+            # reflect the whole run even if no query ever forced a flush
+            self._oracle.flush()
         execution = self._builder.freeze()
 
         for i, link in enumerate(self._links):
@@ -682,7 +746,11 @@ class Simulation:
             execution=execution,
             graph=self._graph,
             duration=duration,
-            event_times=self._event_times,
+            event_times=(
+                self._store.event_times()
+                if self._store is not None
+                else self._event_times
+            ),
             assignments=assignments,
             finalization_times={
                 name: self._finalization_times[i]
@@ -745,13 +813,7 @@ class Simulation:
                     if not up
                 )
             )
-        max_events = max(
-            (
-                sum(1 for _ in execution.events_at(p))
-                for p in range(execution.n_processes)
-            ),
-            default=0,
-        )
+        max_events = max(execution.event_counts(), default=0)
         for name, algo, stats in zip(self._names, self._algos, self._stats):
             reg.counter("clock.control_messages", clock=name).inc(
                 stats.control_messages

@@ -13,6 +13,15 @@ from typing import Callable, List, Optional, Tuple
 
 Callback = Callable[[], None]
 
+#: compaction floor: never rebuild the heap for fewer dead entries than
+#: this, no matter how small the heap is.  Without a floor, a tiny heap
+#: whose entries are mostly cancelled (a pathological cancel-heavy
+#: schedule: schedule one timer, cancel it, repeat) re-heapifies on every
+#: other cancel — O(n) work per O(1) cancellation.  With it, each
+#: compaction is preceded by at least ``max(_COMPACT_MIN, live)``
+#: cancellations, keeping cancels amortized O(1) at every heap size.
+_COMPACT_MIN = 64
+
 
 class TimerHandle:
     """Cancellation token for a scheduled callback.
@@ -80,10 +89,13 @@ class EventScheduler:
         # Lazy cancellation leaves dead entries queued; workloads that cancel
         # most of what they schedule (retransmission timers under a reliable
         # transport that mostly succeeds) would otherwise grow the heap — and
-        # every push/pop's O(log n) — with garbage.  Rebuild once the
-        # majority of entries are dead: O(live) now, amortized O(1) per
-        # cancel, and `pending` stays exact throughout.
-        if self._cancelled_pending > len(self._heap) // 2:
+        # every push/pop's O(log n) — with garbage.  Rebuild once the dead
+        # outnumber both the live entries (proportional bound: the O(live)
+        # rebuild is paid for by at least as many cancels) and the absolute
+        # floor (small heaps must not re-heapify every other cancel); the
+        # heap stays within ~2× its live size and `pending` exact throughout.
+        dead = self._cancelled_pending
+        if dead > _COMPACT_MIN and dead > len(self._heap) - dead:
             self._compact()
 
     def _compact(self) -> None:

@@ -114,6 +114,7 @@ class TestInvariants:
         expected = {
             "exact-vs-hb", "matrix-vs-pairwise", "one-sided",
             "oracle-differential", "finalization-monotonic",
+            "store-differential",
         }
         if numpy_available():
             expected.add("backend-differential")
@@ -205,6 +206,7 @@ class TestDetection:
         check_execution(g, ops, report=report)
         assert report.events_checked == 2
         assert report.checks["oracle-differential"] == 1
+        assert report.checks["store-differential"] == 1
 
 
 class TestShrinker:

@@ -145,37 +145,71 @@ class TestTimerCancellation:
 class TestHeapCompaction:
     def test_mass_cancellation_shrinks_heap(self):
         s = EventScheduler()
-        handles = [s.at(float(i + 1), lambda: None) for i in range(100)]
-        assert s.heap_size == 100
-        for h in handles[:80]:
+        handles = [s.at(float(i + 1), lambda: None) for i in range(400)]
+        assert s.heap_size == 400
+        for h in handles[:360]:
             h.cancel()
-        # majority-dead heaps get rebuilt: the physical heap shrinks to the
-        # live entries plus at most a sub-majority residue of dead ones
+        # heaps whose dead entries outnumber the live ones get rebuilt: the
+        # physical heap shrinks to the live entries plus a bounded residue
         assert s.compactions >= 1
-        assert s.pending == 20
-        assert s.heap_size < 100 // 2
-        assert (s.heap_size - s.pending) <= s.heap_size // 2
+        assert s.pending == 40
+        assert s.heap_size < 400 // 2
+        assert (s.heap_size - s.pending) <= s.heap_size
 
-    def test_compaction_threshold_is_majority(self):
+    def test_compaction_threshold_proportional_to_live(self):
+        s = EventScheduler()
+        handles = [s.at(float(i + 1), lambda: None) for i in range(200)]
+        for h in handles[:100]:
+            h.cancel()
+        # 100 dead vs 100 live: dead do not outnumber live, no rebuild yet
+        assert s.compactions == 0
+        assert s.heap_size == 200
+        handles[100].cancel()
+        assert s.compactions == 1
+        assert s.heap_size == 99  # exactly the live entries
+
+    def test_compaction_floor_below_min_dead(self):
+        # dead > live but below the absolute floor: tiny heaps must not
+        # re-heapify on every other cancel
         s = EventScheduler()
         handles = [s.at(float(i + 1), lambda: None) for i in range(10)]
-        for h in handles[:5]:
+        for h in handles:
             h.cancel()
-        # 5 dead of 10 is not a majority: no rebuild yet
         assert s.compactions == 0
-        assert s.heap_size == 10
-        handles[5].cancel()
-        assert s.compactions == 1
-        assert s.heap_size == 4
+        assert s.pending == 0
+
+    def test_pathological_cancel_heavy_schedule_is_amortized(self):
+        # the retransmission-timer pattern taken to the extreme: every
+        # timer is cancelled right after being scheduled.  The heap must
+        # stay bounded (no unbounded garbage) *and* compactions must stay
+        # rare (no O(n) rebuild per cancel — the regression this pins).
+        s = EventScheduler()
+        for i in range(1000):
+            s.at(float(i + 1), lambda: None).cancel()
+            assert s.pending == 0  # exact throughout
+        assert s.heap_size <= 128  # bounded by the compaction floor
+        assert 1 <= s.compactions <= 1000 // 64 + 1
+        s.run()
+        assert s.steps_executed == 0
+
+    def test_cancel_heavy_with_live_entries_bounded(self):
+        s = EventScheduler()
+        live = [s.at(1000.0 + i, lambda: None) for i in range(10)]
+        for i in range(2000):
+            s.at(float(i + 1), lambda: None).cancel()
+        assert s.pending == 10
+        # heap stays within live + floor-bounded dead residue at all times
+        assert s.heap_size <= 10 + 128
+        assert all(not h.cancelled for h in live)
 
     def test_order_preserved_across_compaction(self):
         s = EventScheduler()
         log = []
         keep = []
-        for i in range(50):
-            h = s.at(float(50 - i), lambda i=i: log.append(i))
+        for i in range(200):
+            h = s.at(float(200 - i), lambda i=i: log.append(i))
             if i % 5 == 0:
-                keep.append((50 - i, i))
+                keep.append((200 - i, i))
             else:
                 h.cancel()
         assert s.compactions >= 1
@@ -188,7 +222,7 @@ class TestHeapCompaction:
         log = []
         for i in range(8):
             s.at(1.0, lambda i=i: log.append(i))
-        doomed = [s.at(2.0, lambda: None) for _ in range(20)]
+        doomed = [s.at(2.0, lambda: None) for _ in range(100)]
         for h in doomed:
             h.cancel()
         assert s.compactions >= 1
@@ -197,7 +231,7 @@ class TestHeapCompaction:
 
     def test_cancel_during_run_can_compact(self):
         s = EventScheduler()
-        doomed = [s.at(float(i + 10), lambda: None) for i in range(30)]
+        doomed = [s.at(float(i + 10), lambda: None) for i in range(100)]
         fired = []
         s.at(1.0, lambda: ([h.cancel() for h in doomed], fired.append(True)))
         s.run()
